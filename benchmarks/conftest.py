@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one paper artifact (figure, table, or claim)
+and records its series to ``benchmarks/results/<name>.txt`` so the rows
+survive pytest's output capture.  The simulation presets are reduced but
+topology-faithful (the paper's 256-node networks); pass
+``--benchmark-full-figures`` for the denser FULL preset.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import FAST, FULL
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--benchmark-full-figures",
+        action="store_true",
+        default=False,
+        help="use the FULL experiment preset (denser grids, longer runs)",
+    )
+
+
+@pytest.fixture(scope="session")
+def preset(request):
+    if request.config.getoption("--benchmark-full-figures"):
+        return FULL
+    return FAST
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Writer: record('fig13', text) -> benchmarks/results/fig13.txt."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _record(name: str, text: str) -> str:
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        return path
+
+    return _record

@@ -1,0 +1,60 @@
+"""Ablation: message-length mix (the paper fixes 10-or-200 flits with
+equal probability).
+
+Wormhole blocking chains scale with worm length, so the mix strongly
+shapes the latency/saturation picture; this bench quantifies it at a
+fixed offered load in flits."""
+
+from repro.routing import XY
+from repro.simulation import SimulationConfig, WormholeSimulator
+from repro.topology import Mesh2D
+from repro.traffic import UniformPattern
+
+
+MIXES = [
+    ("paper 10/200", (10, 200)),
+    ("short 10", (10,)),
+    ("medium 105", (105,)),
+    ("long 200", (200,)),
+]
+
+
+def sweep_mixes():
+    mesh = Mesh2D(16, 16)
+    rows = []
+    for label, lengths in MIXES:
+        config = SimulationConfig(
+            offered_load=1.2,
+            warmup_cycles=1_500,
+            measure_cycles=5_000,
+            message_lengths=lengths,
+            seed=33,
+        )
+        result = WormholeSimulator(
+            XY(mesh), UniformPattern(mesh), config
+        ).run()
+        rows.append((label, result))
+    return rows
+
+
+def test_ablation_message_lengths(benchmark, record):
+    rows = benchmark.pedantic(sweep_mixes, rounds=1, iterations=1)
+    lines = [
+        "== Ablation: message length mix (xy, uniform, load 1.2 fl/us/node) ==",
+        "mix            latency(us)  net-latency(us)  throughput(fl/us)",
+    ]
+    for label, result in rows:
+        lines.append(
+            f"{label:14s} {result.avg_latency_us:11.2f} "
+            f"{result.avg_network_latency_us:16.2f} "
+            f"{result.throughput_flits_per_us:18.1f}"
+        )
+    text = "\n".join(lines)
+    print("\n" + text)
+    record("ablation_msglen", text)
+    by_label = {label: r for label, r in rows}
+    # Short worms pipeline better: far lower latency at equal flit load.
+    assert (
+        by_label["short 10"].avg_latency_us
+        < by_label["long 200"].avg_latency_us
+    )

@@ -1,0 +1,68 @@
+"""Ablation: minimal vs nonminimal turn-model routing.
+
+Section 3.4 notes that nonminimal routing restores adaptiveness exactly
+where the minimal algorithms are deterministic (e.g. negative-first on
+mixed-sign pairs — the transpose workload).  The paper's simulations are
+minimal; this bench measures what a bounded number of escape (misroute)
+hops buys."""
+
+from repro.routing import NegativeFirst, NonminimalPCube, PCube
+from repro.simulation import SimulationConfig, WormholeSimulator
+from repro.topology import Hypercube, Mesh2D
+from repro.traffic import HypercubeTransposePattern, MeshTransposePattern
+
+
+def sweep_misroutes():
+    mesh = Mesh2D(16, 16)
+    rows = []
+    for limit in (0, 2, 6):
+        config = SimulationConfig(
+            offered_load=1.5,
+            warmup_cycles=1_500,
+            measure_cycles=5_000,
+            misroute_limit=limit,
+            seed=34,
+        )
+        result = WormholeSimulator(
+            NegativeFirst(mesh), MeshTransposePattern(mesh), config
+        ).run()
+        rows.append((f"negative-first misroute<={limit}", result))
+    cube = Hypercube(8)
+    for algorithm, limit in ((PCube(cube), 0), (NonminimalPCube(cube), 4)):
+        config = SimulationConfig(
+            offered_load=2.0,
+            warmup_cycles=1_500,
+            measure_cycles=5_000,
+            misroute_limit=limit,
+            seed=34,
+        )
+        result = WormholeSimulator(
+            algorithm, HypercubeTransposePattern(cube), config
+        ).run()
+        rows.append((f"{algorithm.name} misroute<={limit}", result))
+    return rows
+
+
+def test_ablation_nonminimal(benchmark, record):
+    rows = benchmark.pedantic(sweep_misroutes, rounds=1, iterations=1)
+    lines = [
+        "== Ablation: minimal vs nonminimal (transpose workloads) ==",
+        "configuration                      latency(us)  thr(fl/us)  misroutes/pkt",
+    ]
+    for label, result in rows:
+        per_packet = (
+            result.total_misroutes / result.delivered_packets
+            if result.delivered_packets
+            else 0.0
+        )
+        lines.append(
+            f"{label:34s} {result.avg_latency_us:11.2f} "
+            f"{result.throughput_flits_per_us:11.1f}  {per_packet:12.3f}"
+        )
+    text = "\n".join(lines)
+    print("\n" + text)
+    record("ablation_nonminimal", text)
+    # Minimal runs take no misroutes; nonminimal runs are allowed to.
+    by_label = dict(rows)
+    assert by_label["negative-first misroute<=0"].total_misroutes == 0
+    assert all(not r.deadlock for _, r in rows)

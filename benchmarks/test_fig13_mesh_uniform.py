@@ -1,0 +1,34 @@
+"""Figure 13: uniform traffic in a 16x16 mesh.
+
+Paper shape: at low load the four algorithms perform alike; at high load
+the nonadaptive xy algorithm has the lower latencies and the highest (or
+tied-highest) sustainable throughput — nonadaptivity happens to preserve
+uniform traffic's evenness.
+"""
+
+from repro.analysis import (
+    figure13_mesh_uniform,
+    format_figure,
+    uniform_nonadaptive_wins,
+)
+
+
+def test_fig13_mesh_uniform(benchmark, preset, record):
+    series = benchmark.pedantic(
+        figure13_mesh_uniform, args=(preset,), rounds=1, iterations=1
+    )
+    text = format_figure("Figure 13: uniform traffic, 16x16 mesh", series)
+    print("\n" + text)
+    record("fig13_mesh_uniform", text)
+
+    # Shape checks (loose: simulation noise must not flake the bench).
+    by_name = {s.algorithm: s for s in series}
+    assert set(by_name) == {"xy", "west-first", "north-last", "negative-first"}
+    # Everyone delivers traffic at the lowest load.
+    for s in series:
+        assert s.results[0].delivered_packets > 0
+    # Paper claim: under uniform traffic the adaptive algorithms do not
+    # beat xy's sustainable throughput by any meaningful margin.
+    xy_best = by_name["xy"].max_sustainable_throughput()
+    for name in ("west-first", "north-last", "negative-first"):
+        assert by_name[name].max_sustainable_throughput() <= xy_best * 1.25

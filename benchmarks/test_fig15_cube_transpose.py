@@ -1,0 +1,45 @@
+"""Figure 15: matrix-transpose traffic in a binary 8-cube.
+
+Paper shape: the partially adaptive algorithms (ABONF, ABOPL, p-cube)
+have lower latencies at high load and roughly twice e-cube's maximum
+sustainable throughput.
+"""
+
+from repro.analysis import (
+    adaptive_vs_nonadaptive,
+    figure15_cube_transpose,
+    format_figure,
+)
+
+
+def test_fig15_cube_transpose(benchmark, preset, record):
+    series = benchmark.pedantic(
+        figure15_cube_transpose, args=(preset,), rounds=1, iterations=1
+    )
+    ratio = adaptive_vs_nonadaptive(series)
+    text = format_figure(
+        "Figure 15: matrix-transpose traffic, binary 8-cube",
+        series,
+        note=(
+            f"best adaptive ({ratio.best_adaptive}) vs e-cube sustainable "
+            f"throughput ratio: {ratio.ratio and round(ratio.ratio, 2)} "
+            f"(paper: ~2x)"
+        ),
+    )
+    print("\n" + text)
+    record("fig15_cube_transpose", text)
+
+    by_name = {s.algorithm: s for s in series}
+    assert set(by_name) == {"e-cube", "abonf", "abopl", "p-cube"}
+    # The adaptive algorithms clearly out-sustain e-cube under transpose.
+    assert ratio.ratio is not None and ratio.ratio >= 1.3
+    # And their latency at the highest common load is lower.
+    top = max(r.offered_load for r in by_name["e-cube"].results)
+
+    def latency_at_top(name):
+        return [r for r in by_name[name].results if r.offered_load == top][
+            0
+        ].avg_latency_us
+
+    assert latency_at_top("abonf") < latency_at_top("e-cube")
+    assert latency_at_top("p-cube") < latency_at_top("e-cube")

@@ -1,0 +1,49 @@
+"""Figure 16: reverse-flip traffic in a binary 8-cube.
+
+Paper shape: the partially adaptive algorithms sustain about four times
+e-cube's throughput — the largest gap in the paper — and their latency
+stays nearly flat far past e-cube's saturation point.
+"""
+
+from repro.analysis import (
+    adaptive_vs_nonadaptive,
+    figure16_cube_reverse_flip,
+    format_figure,
+)
+
+
+def test_fig16_cube_reverse_flip(benchmark, preset, record):
+    series = benchmark.pedantic(
+        figure16_cube_reverse_flip, args=(preset,), rounds=1, iterations=1
+    )
+    ratio = adaptive_vs_nonadaptive(series)
+    text = format_figure(
+        "Figure 16: reverse-flip traffic, binary 8-cube",
+        series,
+        note=(
+            f"best adaptive ({ratio.best_adaptive}) vs e-cube sustainable "
+            f"throughput ratio: {ratio.ratio and round(ratio.ratio, 2)} "
+            f"(paper: ~4x)"
+        ),
+    )
+    print("\n" + text)
+    record("fig16_cube_reverseflip", text)
+
+    by_name = {s.algorithm: s for s in series}
+    # Reverse-flip is the adaptive algorithms' best case.
+    assert ratio.ratio is not None and ratio.ratio >= 1.5
+    # The adaptive latency curve stays flat where e-cube has saturated:
+    # compare latency at the top load.
+    top = max(r.offered_load for r in by_name["e-cube"].results)
+
+    def result_at_top(name):
+        return [r for r in by_name[name].results if r.offered_load == top][0]
+
+    ecube_top = result_at_top("e-cube")
+    for name in ("abonf", "abopl", "p-cube"):
+        adaptive_top = result_at_top(name)
+        assert adaptive_top.avg_latency_us < ecube_top.avg_latency_us, name
+        assert (
+            adaptive_top.throughput_flits_per_us
+            > ecube_top.throughput_flits_per_us
+        ), name

@@ -1,0 +1,90 @@
+"""Figures 1 and 4: the deadlock demonstrations.
+
+Benchmarks the CDG verifier on the Figure 4 counterexample (cycle found)
+and the live simulator run that deadlocks without turn restrictions,
+against the control run (west-first, same load, no deadlock).
+"""
+
+from repro.core import Turn, TurnModel
+from repro.routing import TurnRestrictedMinimal, WestFirst
+from repro.simulation import SimulationConfig, WormholeSimulator, detect_deadlock
+from repro.topology import EAST, Mesh2D, NORTH
+from repro.traffic import UniformPattern
+from repro.verification import verify_turn_set
+
+
+def overload(seed=2):
+    return SimulationConfig(
+        offered_load=8.0,
+        warmup_cycles=0,
+        measure_cycles=40_000,
+        deadlock_threshold=1_500,
+        seed=seed,
+    )
+
+
+def test_fig4_static_cycle_witness(benchmark, record):
+    mesh = Mesh2D(8, 8)
+    bad = TurnModel.from_prohibited(
+        "figure-4", 2, {Turn(EAST, NORTH), Turn(NORTH, EAST)}
+    )
+    verdict = benchmark(verify_turn_set, mesh, bad)
+    assert bad.breaks_all_cycles()
+    assert not verdict.deadlock_free
+    lines = [
+        "== Figure 4: one turn per abstract cycle is not sufficient ==",
+        f"prohibited: {sorted(map(repr, bad.prohibited))}",
+        f"abstract cycles broken: {bad.breaks_all_cycles()}",
+        f"CDG acyclic: {verdict.deadlock_free}",
+        f"witness cycle length: {len(verdict.cycle)} channels",
+    ]
+    text = "\n".join(lines)
+    print("\n" + text)
+    record("fig4_static_cycle", text)
+
+
+def run_to_deadlock():
+    mesh = Mesh2D(8, 8)
+    anything_goes = TurnRestrictedMinimal(
+        mesh, TurnModel.from_prohibited("none", 2, set())
+    )
+    sim = WormholeSimulator(anything_goes, UniformPattern(mesh), overload())
+    result = sim.run()
+    return sim, result
+
+
+def test_fig1_live_deadlock(benchmark, record):
+    sim, result = benchmark.pedantic(run_to_deadlock, rounds=1, iterations=1)
+    assert result.deadlock
+    report = detect_deadlock(sim)
+    assert report.deadlocked
+    lines = [
+        "== Figure 1: live wormhole deadlock, no prohibited turns ==",
+        f"watchdog fired at cycle {result.deadlock_cycle}",
+        f"packets in flight: {result.inflight_at_end}",
+        report.describe(),
+    ]
+    text = "\n".join(lines)
+    print("\n" + text)
+    record("fig1_live_deadlock", text)
+
+
+def test_fig1_control_west_first_survives(benchmark, record):
+    mesh = Mesh2D(8, 8)
+
+    def run():
+        sim = WormholeSimulator(
+            WestFirst(mesh), UniformPattern(mesh), overload()
+        )
+        return sim.run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not result.deadlock
+    assert result.delivered_packets > 0
+    text = (
+        "== Control: west-first at the same overload ==\n"
+        f"no deadlock; delivered {result.delivered_packets} packets at "
+        f"{result.throughput_flits_per_us:.1f} flits/us"
+    )
+    print("\n" + text)
+    record("fig1_control_west_first", text)

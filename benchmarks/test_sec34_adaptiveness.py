@@ -1,0 +1,69 @@
+"""Section 3.4: degree-of-adaptiveness formulas and the >1/2 average
+ratio claim, evaluated exhaustively on the paper's 16x16 mesh."""
+
+from fractions import Fraction
+
+from repro.core import (
+    average_adaptiveness_ratio,
+    s_negative_first,
+    s_north_last,
+    s_west_first,
+)
+from repro.topology import Mesh2D
+
+
+FORMULAS = [
+    ("west-first", s_west_first),
+    ("north-last", s_north_last),
+    ("negative-first", s_negative_first),
+]
+
+
+def compute_ratios(mesh):
+    return {
+        name: average_adaptiveness_ratio(mesh, formula)
+        for name, formula in FORMULAS
+    }
+
+
+def test_sec34_average_adaptiveness_on_16x16(benchmark, record):
+    mesh = Mesh2D(16, 16)
+    ratios = benchmark.pedantic(
+        compute_ratios, args=(mesh,), rounds=1, iterations=1
+    )
+    lines = ["== Section 3.4: mean S_p/S_f over all pairs, 16x16 mesh =="]
+    for name, ratio in ratios.items():
+        lines.append(f"{name:16s} {float(ratio):.4f}  (paper claim: > 1/2)")
+        assert ratio > Fraction(1, 2), name
+        assert ratio <= 1
+    text = "\n".join(lines)
+    print("\n" + text)
+    record("sec34_adaptiveness", text)
+
+
+def test_sec34_single_path_fraction(benchmark, record):
+    """'S_p = 1 for at least half of the source-destination pairs.'"""
+    mesh = Mesh2D(16, 16)
+    total = mesh.num_nodes * (mesh.num_nodes - 1)
+
+    def count_single():
+        return {
+            name: sum(
+                1
+                for s in mesh.nodes()
+                for d in mesh.nodes()
+                if s != d and formula(mesh, s, d) == 1
+            )
+            for name, formula in FORMULAS
+        }
+
+    singles = benchmark.pedantic(count_single, rounds=1, iterations=1)
+    lines = ["== Section 3.4: fraction of pairs with a single shortest path =="]
+    for name, single in singles.items():
+        lines.append(f"{name:16s} {single / total:.3f}")
+        # "at least half" modulo the aligned pairs (same row/column),
+        # where S_f = 1 anyway.
+        assert single / total > 0.45, name
+    text = "\n".join(lines)
+    print("\n" + text)
+    record("sec34_single_path_fraction", text)

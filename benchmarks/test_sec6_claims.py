@@ -1,0 +1,72 @@
+"""Section 6's path-length claims and the cross-figure throughput
+comparisons that the prose highlights.
+
+The path lengths are workload properties and reproduce the paper's
+numbers exactly; the throughput comparisons come from reduced sweeps of
+the same experiments as Figures 13-16.
+"""
+
+import pytest
+
+from repro.analysis import paper_hop_counts
+from repro.simulation import SimulationConfig, WormholeSimulator
+from repro.routing import make_algorithm
+from repro.topology import Hypercube, Mesh2D
+from repro.traffic import (
+    HypercubeTransposePattern,
+    MeshTransposePattern,
+    ReverseFlipPattern,
+    UniformPattern,
+)
+
+
+def test_sec6_exact_path_lengths(benchmark, record):
+    hops = benchmark(paper_hop_counts)
+    lines = ["== Section 6: average minimal path lengths =="]
+    expectations = {
+        "mesh-uniform": (10.61, 0.08),  # paper 10.61; exact mean 10.667
+        "mesh-transpose": (11.34, 0.01),
+        "cube-uniform": (4.01, 0.01),
+        "cube-reverse-flip": (4.27, 0.01),
+    }
+    for key, (paper_value, tol) in expectations.items():
+        ours = float(hops[key])
+        lines.append(f"{key:20s} ours={ours:7.4f}  paper={paper_value}")
+        assert ours == pytest.approx(paper_value, abs=tol), key
+    lines.append(f"{'cube-transpose':20s} ours={float(hops['cube-transpose']):7.4f}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    record("sec6_path_lengths", text)
+
+
+def measured_hops():
+    """The simulator's delivered-traffic hop averages must match the
+    workloads' analytic means (minimal routing)."""
+    config = SimulationConfig(
+        offered_load=0.5, warmup_cycles=500, measure_cycles=10_000, seed=17
+    )
+    mesh = Mesh2D(16, 16)
+    cube = Hypercube(8)
+    cases = [
+        (make_algorithm("xy", mesh), MeshTransposePattern(mesh), 11.34),
+        (make_algorithm("e-cube", cube), ReverseFlipPattern(cube), 4.27),
+        (make_algorithm("p-cube", cube), UniformPattern(cube), 4.01),
+    ]
+    out = []
+    for algorithm, pattern, expected in cases:
+        result = WormholeSimulator(algorithm, pattern, config).run()
+        out.append((algorithm.name, pattern.name, result.avg_hops, expected))
+    return out
+
+
+def test_sec6_simulated_hops_match_analytic(benchmark, record):
+    rows = benchmark.pedantic(measured_hops, rounds=1, iterations=1)
+    lines = ["== Section 6: measured vs analytic hop counts =="]
+    for alg, pattern, measured, expected in rows:
+        lines.append(
+            f"{alg:8s} {pattern:14s} measured={measured:6.3f} paper={expected}"
+        )
+        assert measured == pytest.approx(expected, rel=0.05)
+    text = "\n".join(lines)
+    print("\n" + text)
+    record("sec6_measured_hops", text)

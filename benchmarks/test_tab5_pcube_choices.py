@@ -1,0 +1,49 @@
+"""The Section 5 table: p-cube routing choices along the example path in
+a binary 10-cube (exact reproduction, including the nonminimal '+k'
+column)."""
+
+from repro.analysis import section5_pcube_table
+from repro.core import s_fully_adaptive, s_pcube
+from repro.topology import Hypercube
+
+
+PAPER_ROWS = [
+    ("1011010100", 3, 2, 2, "source"),
+    ("1011010000", 2, 2, 9, "phase 1"),
+    ("0011010000", 1, 2, 6, "phase 1"),
+    ("0010010000", 3, 0, 5, "phase 2"),
+    ("0010110000", 2, 0, 0, "phase 2"),
+    ("0010110001", 1, 0, 3, "phase 2"),
+    ("0010111001", 0, 0, None, "destination"),
+]
+
+
+def test_tab5_pcube_choice_table(benchmark, record):
+    rows = benchmark(section5_pcube_table)
+    got = [
+        (r.address, r.minimal_choices, r.nonminimal_extra,
+         r.dimension_taken, r.phase)
+        for r in rows
+    ]
+    assert got == PAPER_ROWS
+
+    lines = ["== Section 5 table: p-cube choices, 10-cube =="]
+    lines.append(f"{'address':>12s} {'choices':>8s} {'dim':>4s}  comment")
+    for addr, minimal, extra, dim, phase in got:
+        plus = f"(+{extra})" if extra else "    "
+        lines.append(
+            f"{addr:>12s} {minimal:>4d}{plus:<4s} "
+            f"{'' if dim is None else dim:>4}  {phase}"
+        )
+    cube = Hypercube(10)
+    src = cube.node_from_address_str("1011010100")
+    dst = cube.node_from_address_str("0010111001")
+    lines.append(
+        f"S_p-cube = {s_pcube(cube, src, dst)} of "
+        f"S_f = {s_fully_adaptive(cube, src, dst)} shortest paths "
+        f"(paper: 36 of 720)"
+    )
+    text = "\n".join(lines)
+    print("\n" + text)
+    record("tab5_pcube_choices", text)
+    assert s_pcube(cube, src, dst) == 36

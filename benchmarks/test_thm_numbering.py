@@ -1,0 +1,73 @@
+"""Theorems 2, 3, 5: the channel numberings verified exhaustively over
+every minimal path on a 5x5 mesh (and a 3x3x3 mesh for Theorem 5)."""
+
+from repro.core import (
+    monotonicity_violations,
+    negative_first_numbering,
+    north_last_numbering,
+    west_first_numbering,
+)
+from repro.routing import (
+    NegativeFirst,
+    NorthLast,
+    WestFirst,
+    enumerate_minimal_paths,
+    path_channels,
+)
+from repro.topology import Mesh, Mesh2D
+
+
+def all_paths(algorithm, limit_per_pair=30):
+    topo = algorithm.topology
+    out = []
+    for src in topo.nodes():
+        for dst in topo.nodes():
+            if src == dst:
+                continue
+            for p in enumerate_minimal_paths(algorithm, src, dst, limit_per_pair):
+                out.append(path_channels(topo, p))
+    return out
+
+
+CASES = [
+    ("thm2 west-first", WestFirst, west_first_numbering, True),
+    ("thm3 north-last", NorthLast, north_last_numbering, True),
+    ("thm5 negative-first", NegativeFirst, negative_first_numbering, False),
+]
+
+
+def check_all(mesh):
+    report = {}
+    for label, alg_cls, builder, decreasing in CASES:
+        numbering = builder(mesh)
+        paths = all_paths(alg_cls(mesh))
+        violations = monotonicity_violations(numbering, paths, decreasing)
+        report[label] = (len(paths), len(violations))
+    return report
+
+
+def test_thm_2_3_5_numberings_on_5x5(benchmark, record):
+    mesh = Mesh2D(5, 5)
+    report = benchmark.pedantic(check_all, args=(mesh,), rounds=1, iterations=1)
+    lines = ["== Theorems 2/3/5: strict monotonicity along every minimal path =="]
+    for label, (paths, violations) in report.items():
+        lines.append(f"{label:22s} {paths:6d} paths, {violations} violations")
+        assert violations == 0, label
+    text = "\n".join(lines)
+    print("\n" + text)
+    record("thm_numbering", text)
+
+
+def test_thm5_on_3d_mesh(benchmark, record):
+    mesh = Mesh((3, 3, 3))
+    numbering = negative_first_numbering(mesh)
+    paths = benchmark.pedantic(
+        all_paths, args=(NegativeFirst(mesh),),
+        kwargs={"limit_per_pair": 10}, rounds=1, iterations=1,
+    )
+    violations = monotonicity_violations(numbering, paths, decreasing=False)
+    assert violations == []
+    record(
+        "thm5_3d",
+        f"Theorem 5 on 3x3x3 mesh: {len(paths)} paths, 0 violations",
+    )

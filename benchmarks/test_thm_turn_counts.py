@@ -1,0 +1,77 @@
+"""Theorems 1 and 6: turn counts and the necessary-and-sufficient
+quarter, checked constructively for n = 2..5 (plus the 12-of-16
+enumeration for 2D)."""
+
+from repro.core import (
+    TurnModel,
+    abstract_cycles,
+    count_ninety_degree_turns,
+    minimum_prohibited_turns,
+    two_turn_prohibitions_2d,
+)
+from repro.topology import Mesh, Mesh2D
+from repro.verification import turn_set_is_deadlock_free
+
+
+def classify_two_turn_prohibitions():
+    mesh = Mesh2D(4, 4)
+    return [
+        turn_set_is_deadlock_free(
+            mesh, TurnModel.from_prohibited("pair", 2, pair)
+        )
+        for pair in two_turn_prohibitions_2d()
+    ]
+
+
+def test_thm1_counts_and_12_of_16(benchmark, record):
+    verdicts = benchmark.pedantic(
+        classify_two_turn_prohibitions, rounds=1, iterations=1
+    )
+    assert sum(verdicts) == 12 and len(verdicts) == 16
+    lines = ["== Theorem 1 / Section 3 structure =="]
+    for n in range(2, 6):
+        turns = count_ninety_degree_turns(n)
+        cycles = len(abstract_cycles(n))
+        minimum = minimum_prohibited_turns(n)
+        lines.append(
+            f"n={n}: {turns} turns, {cycles} abstract cycles, "
+            f"minimum prohibitions {minimum} (= turns/4: {turns // 4})"
+        )
+        assert minimum == turns // 4 == cycles
+    lines.append(
+        f"2D: {sum(verdicts)}/16 two-turn prohibitions are deadlock free "
+        f"(paper: 12)"
+    )
+    text = "\n".join(lines)
+    print("\n" + text)
+    record("thm1_turn_counts", text)
+
+
+def sufficiency_for_dimensions():
+    results = {}
+    for n, dims in ((2, (4, 4)), (3, (3, 3, 3)), (4, (2, 2, 2, 2))):
+        mesh = Mesh(dims)
+        results[n] = all(
+            turn_set_is_deadlock_free(mesh, factory(n))
+            for factory in (
+                TurnModel.west_first,
+                TurnModel.north_last,
+                TurnModel.negative_first,
+            )
+        )
+    return results
+
+
+def test_thm6_sufficiency_of_the_quarter(benchmark, record):
+    """Theorem 6: prohibiting some quarter of the turns suffices — the
+    three paper prohibition sets are n(n-1)-sized and CDG-acyclic."""
+    results = benchmark.pedantic(
+        sufficiency_for_dimensions, rounds=1, iterations=1
+    )
+    assert all(results.values())
+    text = "== Theorem 6: the paper's quarter-prohibitions are sufficient ==\n" + "\n".join(
+        f"n={n}: all three prohibition sets deadlock free = {ok}"
+        for n, ok in results.items()
+    )
+    print("\n" + text)
+    record("thm6_sufficiency", text)

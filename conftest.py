@@ -1,0 +1,10 @@
+"""Repository-root pytest configuration.
+
+Puts ``src/`` on ``sys.path`` so the test and benchmark suites run against
+the checkout even when the package has not been installed.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

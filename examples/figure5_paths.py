@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Reproduce Figures 5, 9, and 10 qualitatively: the allowed-turn sets
+and example paths of west-first, north-last, and negative-first in an
+8x8 mesh, rendered as ASCII.
+
+Run:  python examples/figure5_paths.py
+"""
+
+import random
+
+from repro import Mesh2D
+from repro.routing import NegativeFirst, NorthLast, WestFirst, walk
+from repro.viz import render_mesh_paths, render_turn_set
+
+
+EXAMPLES = {
+    # (figure, algorithm factory, [(src, dst), ...]) — chosen to show the
+    # deterministic case and the adaptive case of each algorithm.
+    "Figure 5 (west-first)": (
+        WestFirst,
+        [((6, 6), (1, 2)), ((1, 1), (6, 5))],
+    ),
+    "Figure 9 (north-last)": (
+        NorthLast,
+        [((2, 1), (5, 6)), ((6, 6), (1, 1))],
+    ),
+    "Figure 10 (negative-first)": (
+        NegativeFirst,
+        [((5, 6), (1, 1)), ((1, 2), (6, 6))],
+    ),
+}
+
+
+def main() -> None:
+    mesh = Mesh2D(8, 8)
+    rng = random.Random(5)
+    for title, (factory, pairs) in EXAMPLES.items():
+        algorithm = factory(mesh)
+        print(f"== {title} ==")
+        print(render_turn_set(algorithm.turn_model()))
+        print()
+        for src_xy, dst_xy in pairs:
+            src, dst = mesh.node_at(src_xy), mesh.node_at(dst_xy)
+            path = walk(algorithm, src, dst, rng=rng)
+            label = f"{src_xy} -> {dst_xy} in {len(path) - 1} hops"
+            print(render_mesh_paths(mesh, [path], labels=[label]))
+            print()
+
+
+if __name__ == "__main__":
+    main()

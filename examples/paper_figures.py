@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation figures (13-16) as text series.
+
+Each figure is a latency-vs-throughput comparison of four routing
+algorithms on a 256-node network.  Absolute numbers belong to this
+simulator; the shapes (who wins, by what factor) are the reproduction
+target — see EXPERIMENTS.md.
+
+Run:  python examples/paper_figures.py [fig13|fig14|fig15|fig16|all] [--full]
+
+``--full`` uses longer measurement windows and a denser load grid
+(minutes per figure instead of tens of seconds).
+"""
+
+import sys
+import time
+
+from repro.analysis import FAST, FIGURE_HARNESSES, FULL, format_figure
+
+TITLES = {
+    "fig13": "Figure 13: uniform traffic, 16x16 mesh",
+    "fig14": "Figure 14: matrix-transpose traffic, 16x16 mesh",
+    "fig15": "Figure 15: matrix-transpose traffic, binary 8-cube",
+    "fig16": "Figure 16: reverse-flip traffic, binary 8-cube",
+}
+
+
+def main(argv) -> None:
+    which = [a for a in argv if not a.startswith("--")] or ["all"]
+    preset = FULL if "--full" in argv else FAST
+    names = list(TITLES) if "all" in which else which
+    for name in names:
+        if name not in FIGURE_HARNESSES:
+            raise SystemExit(
+                f"unknown figure {name!r}; choose from {sorted(TITLES)}"
+            )
+        harness = FIGURE_HARNESSES[name]
+        start = time.time()
+        series = harness(
+            preset,
+            progress=lambda r: print("   ...", r.summary(), flush=True),
+        )
+        print()
+        print(format_figure(TITLES[name], series))
+        print(f"\n[{name} regenerated in {time.time() - start:.0f}s]\n")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Reproduce the Section 5 table: p-cube routing choices on a binary
+10-cube from 1011010100 to 0010111001.
+
+At each node the table lists how many minimal p-cube moves are available,
+how many extra moves the nonminimal extension would add (in parentheses
+in the paper), and which dimension the example path takes.
+
+Run:  python examples/pcube_walkthrough.py
+"""
+
+import math
+
+from repro import Hypercube, pcube_choice_table, s_fully_adaptive, s_pcube
+from repro.core import pcube_ratio
+
+
+def main() -> None:
+    cube = Hypercube(10)
+    src = cube.node_from_address_str("1011010100")
+    dst = cube.node_from_address_str("0010111001")
+
+    h = cube.hamming(src, dst)
+    h1 = bin(src & ~dst).count("1")
+    h0 = bin(~src & dst & 0b1111111111).count("1")
+    print(f"source      : {cube.address_str(src)}")
+    print(f"destination : {cube.address_str(dst)}")
+    print(f"h = {h}, h1 = {h1}, h0 = {h0}")
+    print(f"S_p-cube = h1! * h0! = {s_pcube(cube, src, dst)} shortest paths")
+    print(f"S_f      = h!        = {s_fully_adaptive(cube, src, dst)}")
+    print(f"S_p-cube / S_f = {pcube_ratio(cube, src, dst)} "
+          f"(= 1 / C({h},{h1}) = 1/{math.comb(h, h1)})")
+    print()
+
+    rows = pcube_choice_table(cube, src, dst, [2, 9, 6, 5, 0, 3])
+    print(f"{'address':>12s} {'choices':>8s} {'dim taken':>10s}   comment")
+    for row in rows:
+        extra = f"(+{row.nonminimal_extra})" if row.nonminimal_extra else "    "
+        dim = "" if row.dimension_taken is None else str(row.dimension_taken)
+        print(
+            f"{row.address:>12s} {row.minimal_choices:>4d}{extra:<4s} "
+            f"{dim:>10s}   {row.phase}"
+        )
+
+
+if __name__ == "__main__":
+    main()

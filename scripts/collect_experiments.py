@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Collect the full paper-vs-measured dataset behind EXPERIMENTS.md.
+
+Runs every figure's sweep at a medium preset (denser than the benchmark
+FAST preset), plus the cube-uniform reference sweep that Section 6's
+cross-figure claims need, and prints one consolidated report.
+
+Run:  python scripts/collect_experiments.py [outfile]
+"""
+
+import sys
+import time
+
+from repro.analysis import (
+    ExperimentPreset,
+    adaptive_vs_nonadaptive,
+    compare_algorithms,
+    figure13_mesh_uniform,
+    figure14_mesh_transpose,
+    figure15_cube_transpose,
+    figure16_cube_reverse_flip,
+    format_figure,
+    paper_hop_counts,
+)
+from repro.routing import hypercube_algorithms
+from repro.topology import Hypercube
+from repro.traffic import UniformPattern
+
+MEDIUM = ExperimentPreset(
+    warmup_cycles=3_000,
+    measure_cycles=9_000,
+    mesh_loads=(0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.5),
+    cube_loads=(0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0),
+    seed=7,
+)
+
+
+def cube_uniform(preset):
+    cube = Hypercube(8)
+    return compare_algorithms(
+        hypercube_algorithms(cube),
+        lambda topo: UniformPattern(topo),
+        preset.cube_loads,
+        preset.config(),
+    )
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else (
+        "benchmarks/results/experiments_summary.txt"
+    )
+    sections = []
+    t0 = time.time()
+
+    hops = paper_hop_counts()
+    sections.append(
+        "== hop counts ==\n"
+        + "\n".join(f"{k:20s} {float(v):.4f}" for k, v in hops.items())
+    )
+
+    harnesses = [
+        ("fig13 mesh uniform", figure13_mesh_uniform),
+        ("fig14 mesh transpose", figure14_mesh_transpose),
+        ("fig15 cube transpose", figure15_cube_transpose),
+        ("fig16 cube reverse-flip", figure16_cube_reverse_flip),
+        ("ref: cube uniform", cube_uniform),
+    ]
+    for title, harness in harnesses:
+        start = time.time()
+        series = harness(MEDIUM)
+        block = format_figure(title, series)
+        try:
+            ratio = adaptive_vs_nonadaptive(series)
+            block += (
+                f"\nbest adaptive ({ratio.best_adaptive}) / "
+                f"{ratio.nonadaptive}: "
+                f"{ratio.ratio and round(ratio.ratio, 2)}"
+            )
+        except ValueError:
+            pass
+        block += f"\n[{time.time() - start:.0f}s]"
+        sections.append(block)
+        print(block, flush=True)
+
+    report = "\n\n".join(sections) + f"\n\ntotal {time.time() - t0:.0f}s\n"
+    with open(out_path, "w") as fh:
+        fh.write(report)
+    print(f"\nwritten to {out_path}")
+
+
+if __name__ == "__main__":
+    main()

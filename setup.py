@@ -1,0 +1,6 @@
+"""Setuptools shim: enables editable installs in environments without the
+``wheel`` package (``python setup.py develop``)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""Experiment harness: sweeps, saturation search, figure regeneration."""
+
+from .claims import (
+    ThroughputRatio,
+    adaptive_vs_nonadaptive,
+    paper_hop_counts,
+    uniform_nonadaptive_wins,
+)
+from .experiments import (
+    FAST,
+    FIGURE_HARNESSES,
+    FULL,
+    ExperimentPreset,
+    figure13_mesh_uniform,
+    figure14_mesh_transpose,
+    figure15_cube_transpose,
+    figure16_cube_reverse_flip,
+    section5_pcube_table,
+)
+from .saturation import SaturationPoint, find_saturation
+from .series import (
+    format_figure,
+    format_saturation_points,
+    format_saturation_summary,
+    render_latency_chart,
+)
+from .sweep import SweepSeries, compare_algorithms, run_sweep
+
+__all__ = [
+    "ExperimentPreset",
+    "FAST",
+    "FIGURE_HARNESSES",
+    "FULL",
+    "SaturationPoint",
+    "SweepSeries",
+    "ThroughputRatio",
+    "adaptive_vs_nonadaptive",
+    "compare_algorithms",
+    "figure13_mesh_uniform",
+    "figure14_mesh_transpose",
+    "figure15_cube_transpose",
+    "figure16_cube_reverse_flip",
+    "find_saturation",
+    "format_figure",
+    "format_saturation_points",
+    "format_saturation_summary",
+    "paper_hop_counts",
+    "render_latency_chart",
+    "run_sweep",
+    "section5_pcube_table",
+    "uniform_nonadaptive_wins",
+]

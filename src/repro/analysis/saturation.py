@@ -1,0 +1,97 @@
+"""Maximum sustainable throughput estimation.
+
+The paper defines throughput as *sustainable* "when the number of packets
+queued at their source processors is small and bounded".  This module
+finds each (algorithm, pattern) pair's maximum sustainable operating
+point by bisecting on offered load with that test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..routing.base import RoutingAlgorithm
+from ..simulation.config import SimulationConfig
+from ..simulation.engine import WormholeSimulator
+from ..simulation.metrics import SimulationResult
+
+
+@dataclass
+class SaturationPoint:
+    """Estimated saturation of one (algorithm, pattern) pair."""
+
+    algorithm: str
+    pattern: str
+    max_sustainable_load: float  # flits/us/node offered
+    throughput_flits_per_us: float  # delivered at that load, aggregate
+    latency_us: Optional[float]
+    probes: int
+
+
+def _sustainable(result: SimulationResult) -> bool:
+    return result.sustainable
+
+
+def find_saturation(
+    algorithm: RoutingAlgorithm,
+    pattern,
+    base_config: Optional[SimulationConfig] = None,
+    low: float = 0.0,
+    high: float = 8.0,
+    iterations: int = 6,
+) -> SaturationPoint:
+    """Bisect offered load between ``low`` (sustainable) and ``high``.
+
+    ``high`` must be unsustainable (it is probed and raised once if not).
+    Each probe is a full simulation at the midpoint load; ``iterations``
+    probes give a load resolution of ``(high - low) / 2**iterations``.
+    """
+    if base_config is None:
+        base_config = SimulationConfig()
+
+    def probe(load: float) -> SimulationResult:
+        sim = WormholeSimulator(algorithm, pattern, base_config.with_load(load))
+        return sim.run()
+
+    probes = 0
+    best: Optional[SimulationResult] = None
+
+    top = probe(high)
+    probes += 1
+    if _sustainable(top):
+        high *= 2
+        top = probe(high)
+        probes += 1
+        if _sustainable(top):
+            # Treat the probed ceiling as the answer rather than searching
+            # an unbounded range.
+            return SaturationPoint(
+                algorithm=algorithm.name,
+                pattern=getattr(pattern, "name", type(pattern).__name__),
+                max_sustainable_load=high,
+                throughput_flits_per_us=top.throughput_flits_per_us,
+                latency_us=top.avg_latency_us,
+                probes=probes,
+            )
+
+    for _ in range(iterations):
+        mid = (low + high) / 2
+        result = probe(mid)
+        probes += 1
+        if _sustainable(result):
+            low = mid
+            best = result
+        else:
+            high = mid
+
+    return SaturationPoint(
+        algorithm=algorithm.name,
+        pattern=getattr(pattern, "name", type(pattern).__name__),
+        max_sustainable_load=low,
+        throughput_flits_per_us=(
+            best.throughput_flits_per_us if best is not None else 0.0
+        ),
+        latency_us=best.avg_latency_us if best is not None else None,
+        probes=probes,
+    )

@@ -1,0 +1,99 @@
+"""Load sweeps: latency-vs-throughput curves, one simulation per point.
+
+The paper's Figures 13-16 plot average communication latency against
+average network throughput as the offered load rises.  A sweep runs the
+simulator at a list of offered loads and collects the
+:class:`~repro.simulation.metrics.SimulationResult` per point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..routing.base import RoutingAlgorithm
+from ..simulation.config import SimulationConfig
+from ..simulation.engine import WormholeSimulator
+from ..simulation.metrics import SimulationResult
+
+
+@dataclass
+class SweepSeries:
+    """One algorithm's latency/throughput curve under one pattern."""
+
+    algorithm: str
+    pattern: str
+    results: List[SimulationResult]
+
+    def points(self) -> List[Tuple[float, Optional[float]]]:
+        """(delivered throughput in flits/us, avg latency in us) pairs."""
+        return [
+            (r.throughput_flits_per_us, r.avg_latency_us) for r in self.results
+        ]
+
+    def sustainable_results(self) -> List[SimulationResult]:
+        return [r for r in self.results if r.sustainable]
+
+    def max_sustainable_throughput(self) -> float:
+        """Highest delivered throughput among sustainable points."""
+        sustainable = self.sustainable_results()
+        if not sustainable:
+            return 0.0
+        return max(r.throughput_flits_per_us for r in sustainable)
+
+    def rows(self) -> List[str]:
+        header = (
+            f"# {self.algorithm} / {self.pattern}\n"
+            f"# offered(fl/us)  delivered(fl/us)  latency(us)  sustainable"
+        )
+        lines = [header]
+        for r in self.results:
+            latency = r.avg_latency_us
+            lat = f"{latency:11.2f}" if latency is not None else "        n/a"
+            lines.append(
+                f"{r.offered_flits_per_us:15.1f} {r.throughput_flits_per_us:17.1f} "
+                f"{lat}  {'yes' if r.sustainable else 'NO'}"
+            )
+        return lines
+
+
+def run_sweep(
+    algorithm: RoutingAlgorithm,
+    pattern,
+    loads: Sequence[float],
+    base_config: Optional[SimulationConfig] = None,
+    progress: Optional[Callable[[SimulationResult], None]] = None,
+) -> SweepSeries:
+    """Simulate each offered load in ``loads`` (flits/us/node)."""
+    if base_config is None:
+        base_config = SimulationConfig()
+    results = []
+    for load in loads:
+        sim = WormholeSimulator(algorithm, pattern, base_config.with_load(load))
+        result = sim.run()
+        results.append(result)
+        if progress is not None:
+            progress(result)
+    return SweepSeries(
+        algorithm=algorithm.name,
+        pattern=getattr(pattern, "name", type(pattern).__name__),
+        results=results,
+    )
+
+
+def compare_algorithms(
+    algorithms: Sequence[RoutingAlgorithm],
+    pattern_factory: Callable[[object], object],
+    loads: Sequence[float],
+    base_config: Optional[SimulationConfig] = None,
+    progress: Optional[Callable[[SimulationResult], None]] = None,
+) -> List[SweepSeries]:
+    """One sweep per algorithm; ``pattern_factory(topology)`` builds the
+    workload for each algorithm's topology (they normally share one)."""
+    series = []
+    for algorithm in algorithms:
+        pattern = pattern_factory(algorithm.topology)
+        series.append(
+            run_sweep(algorithm, pattern, loads, base_config, progress)
+        )
+    return series

@@ -1,0 +1,261 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``list`` — available algorithms, patterns, and figures;
+* ``verify`` — CDG deadlock check + connectivity for an algorithm;
+* ``turns`` — render a named prohibition set (Figures 3/5a/9a/10a);
+* ``simulate`` — one operating point (algorithm, pattern, load);
+* ``sweep`` — a latency/throughput curve over several loads;
+* ``figure`` — regenerate one of the paper's figures (13-16).
+
+Topology specs: ``mesh:16x16`` (any ``AxBxC...``), ``cube:8`` (binary
+n-cube), ``torus:8x2`` (k-ary n-cube, k then n).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import FAST, FIGURE_HARNESSES, FULL, format_figure
+from .analysis.sweep import run_sweep
+from .core.turn_model import TurnModel
+from .routing.registry import algorithm_names, make_algorithm
+from .simulation.config import SimulationConfig
+from .simulation.engine import WormholeSimulator
+from .topology.base import Topology
+from .topology.hypercube import Hypercube
+from .topology.mesh import mesh
+from .topology.torus import KAryNCube
+from .traffic.patterns import (
+    BitComplementPattern,
+    HypercubeTransposePattern,
+    MeshTransposePattern,
+    ReverseFlipPattern,
+    UniformPattern,
+)
+from .verification import check_connectivity, verify_algorithm
+from .viz import render_turn_set
+
+TURN_MODELS = {
+    "xy": TurnModel.xy,
+    "west-first": TurnModel.west_first,
+    "north-last": TurnModel.north_last,
+    "negative-first": TurnModel.negative_first,
+}
+
+PATTERN_NAMES = (
+    "uniform",
+    "transpose",
+    "reverse-flip",
+    "bit-complement",
+)
+
+
+def parse_topology(spec: str) -> Topology:
+    """Parse ``mesh:16x16`` / ``cube:8`` / ``torus:8x2`` specs."""
+    try:
+        kind, _, shape = spec.partition(":")
+        if kind == "mesh":
+            dims = tuple(int(part) for part in shape.split("x"))
+            return mesh(dims)
+        if kind == "cube":
+            return Hypercube(int(shape))
+        if kind == "torus":
+            k, n = (int(part) for part in shape.split("x"))
+            return KAryNCube(k, n)
+    except (ValueError, TypeError):
+        pass
+    raise SystemExit(
+        f"bad topology spec {spec!r}; expected mesh:AxB, cube:N, or torus:KxN"
+    )
+
+
+def make_pattern(name: str, topology: Topology):
+    if name == "uniform":
+        return UniformPattern(topology)
+    if name == "transpose":
+        if isinstance(topology, Hypercube):
+            return HypercubeTransposePattern(topology)
+        return MeshTransposePattern(topology)
+    if name == "reverse-flip":
+        return ReverseFlipPattern(topology)
+    if name == "bit-complement":
+        return BitComplementPattern(topology)
+    raise SystemExit(
+        f"unknown pattern {name!r}; choose from {PATTERN_NAMES}"
+    )
+
+
+def cmd_list(args) -> int:
+    print("algorithms :", ", ".join(algorithm_names()))
+    print("patterns   :", ", ".join(PATTERN_NAMES))
+    print("turn models:", ", ".join(sorted(TURN_MODELS)))
+    print("figures    :", ", ".join(sorted(FIGURE_HARNESSES)))
+    return 0
+
+
+def cmd_verify(args) -> int:
+    topology = parse_topology(args.topology)
+    algorithm = make_algorithm(args.algorithm, topology)
+    verdict = verify_algorithm(algorithm)
+    print(
+        f"{algorithm.name} on {topology!r}: "
+        f"deadlock free = {verdict.deadlock_free} "
+        f"({verdict.num_channels} channels, "
+        f"{verdict.num_dependencies} dependencies)"
+    )
+    if verdict.cycle:
+        print("witness cycle:")
+        for channel in verdict.cycle:
+            print(f"  {channel!r}")
+    if args.connectivity:
+        report = check_connectivity(algorithm)
+        print(
+            f"connectivity: {report.delivered_pairs}/{report.total_pairs} "
+            f"pairs reachable; minimal everywhere: "
+            f"{report.minimal_everywhere}"
+        )
+    return 0 if verdict.deadlock_free else 1
+
+
+def cmd_turns(args) -> int:
+    factory = TURN_MODELS.get(args.model)
+    if factory is None:
+        raise SystemExit(
+            f"unknown turn model {args.model!r}; choose from "
+            f"{sorted(TURN_MODELS)}"
+        )
+    print(render_turn_set(factory()))
+    return 0
+
+
+def _config(args) -> SimulationConfig:
+    return SimulationConfig(
+        offered_load=getattr(args, "load", 1.0),
+        warmup_cycles=args.warmup,
+        measure_cycles=args.cycles,
+        seed=args.seed,
+        buffer_depth=args.buffer_depth,
+        virtual_channels=getattr(args, "vc", 1),
+    )
+
+
+def cmd_simulate(args) -> int:
+    topology = parse_topology(args.topology)
+    algorithm = make_algorithm(args.algorithm, topology)
+    pattern = make_pattern(args.pattern, topology)
+    result = WormholeSimulator(algorithm, pattern, _config(args)).run()
+    print(result.summary())
+    if result.avg_hops is not None:
+        print(
+            f"hops={result.avg_hops:.2f} "
+            f"net-latency={result.avg_network_latency_us:.2f}us "
+            f"delivered={result.delivered_packets} packets"
+        )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    topology = parse_topology(args.topology)
+    algorithm = make_algorithm(args.algorithm, topology)
+    pattern = make_pattern(args.pattern, topology)
+    loads = [float(part) for part in args.loads.split(",")]
+    series = run_sweep(
+        algorithm,
+        pattern,
+        loads,
+        _config(args),
+        progress=lambda r: print("  ", r.summary(), flush=True),
+    )
+    print()
+    for row in series.rows():
+        print(row)
+    print(
+        f"max sustainable throughput: "
+        f"{series.max_sustainable_throughput():.1f} flits/us"
+    )
+    return 0
+
+
+def cmd_figure(args) -> int:
+    harness = FIGURE_HARNESSES.get(args.name)
+    if harness is None:
+        raise SystemExit(
+            f"unknown figure {args.name!r}; choose from "
+            f"{sorted(FIGURE_HARNESSES)}"
+        )
+    preset = FULL if args.full else FAST
+    series = harness(
+        preset, progress=lambda r: print("  ...", r.summary(), flush=True)
+    )
+    print()
+    print(format_figure(args.name, series))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Turn-model adaptive routing: verify, simulate, reproduce.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="available algorithms/patterns/figures")
+
+    p = sub.add_parser("verify", help="deadlock-freedom check (CDG)")
+    p.add_argument("algorithm")
+    p.add_argument("--topology", default="mesh:8x8")
+    p.add_argument(
+        "--connectivity", action="store_true", help="also walk all pairs"
+    )
+
+    p = sub.add_parser("turns", help="render a prohibition set")
+    p.add_argument("model")
+
+    for name, helptext in (
+        ("simulate", "one operating point"),
+        ("sweep", "latency/throughput curve"),
+    ):
+        p = sub.add_parser(name, help=helptext)
+        p.add_argument("algorithm")
+        p.add_argument("--topology", default="mesh:16x16")
+        p.add_argument("--pattern", default="uniform")
+        p.add_argument("--warmup", type=int, default=2_000)
+        p.add_argument("--cycles", type=int, default=8_000)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--buffer-depth", type=int, default=1)
+        p.add_argument(
+            "--vc", type=int, default=1, help="virtual channels per link"
+        )
+        if name == "simulate":
+            p.add_argument("--load", type=float, default=1.0)
+        else:
+            p.add_argument("--loads", default="0.5,1.0,1.5,2.0")
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("name")
+    p.add_argument("--full", action="store_true")
+
+    return parser
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "verify": cmd_verify,
+    "turns": cmd_turns,
+    "simulate": cmd_simulate,
+    "sweep": cmd_sweep,
+    "figure": cmd_figure,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Abstract turn cycles (Step 3 of the turn model).
+
+In each of the ``n(n-1)/2`` planes of an n-dimensional mesh the eight
+90-degree turns form exactly two *abstract cycles* of four turns — one
+turning consistently counterclockwise and one clockwise (Figure 2 of the
+paper).  Breaking every abstract cycle by prohibiting at least one of its
+four turns is *necessary* for deadlock freedom (Theorem 1); it is not by
+itself *sufficient* (Figure 4), which is why
+:mod:`repro.verification.cdg` provides the concrete-network check.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, List, Set, Tuple
+
+from ..topology.base import Direction, NEGATIVE, POSITIVE
+from .turns import Turn
+
+
+@dataclass(frozen=True)
+class AbstractCycle:
+    """One of the two four-turn cycles in a plane of the mesh.
+
+    ``turns`` are listed in travel order: taking them in sequence returns a
+    packet to its original heading after a closed loop.
+    """
+
+    plane: Tuple[int, int]
+    clockwise: bool
+    turns: Tuple[Turn, Turn, Turn, Turn]
+
+    def __contains__(self, turn: Turn) -> bool:
+        return turn in self.turns
+
+    def is_broken_by(self, prohibited: Iterable[Turn]) -> bool:
+        """True when at least one of this cycle's turns is prohibited."""
+        prohibited = set(prohibited)
+        return any(t in prohibited for t in self.turns)
+
+
+def plane_cycles(dim_a: int, dim_b: int) -> Tuple[AbstractCycle, AbstractCycle]:
+    """The counterclockwise and clockwise abstract cycles of one plane.
+
+    With dimension ``a`` drawn horizontally and ``b`` vertically, the
+    counterclockwise cycle is ``+a -> +b -> -a -> -b -> +a`` (all left
+    turns) and the clockwise cycle is ``+a -> -b -> -a -> +b -> +a`` (all
+    right turns), matching Figure 2.
+    """
+    a, b = sorted((dim_a, dim_b))
+    if a == b:
+        raise ValueError("a plane needs two distinct dimensions")
+    pa, na = Direction(a, POSITIVE), Direction(a, NEGATIVE)
+    pb, nb = Direction(b, POSITIVE), Direction(b, NEGATIVE)
+    ccw = AbstractCycle(
+        plane=(a, b),
+        clockwise=False,
+        turns=(Turn(pa, pb), Turn(pb, na), Turn(na, nb), Turn(nb, pa)),
+    )
+    cw = AbstractCycle(
+        plane=(a, b),
+        clockwise=True,
+        turns=(Turn(pa, nb), Turn(nb, na), Turn(na, pb), Turn(pb, pa)),
+    )
+    return ccw, cw
+
+
+def abstract_cycles(n_dims: int) -> List[AbstractCycle]:
+    """All ``n(n-1)`` abstract cycles of an n-dimensional mesh."""
+    cycles: List[AbstractCycle] = []
+    for a, b in itertools.combinations(range(n_dims), 2):
+        cycles.extend(plane_cycles(a, b))
+    return cycles
+
+
+def count_abstract_cycles(n_dims: int) -> int:
+    """Closed form ``n(n-1)`` from Section 2."""
+    return n_dims * (n_dims - 1)
+
+
+def unbroken_cycles(
+    n_dims: int, prohibited: Iterable[Turn]
+) -> List[AbstractCycle]:
+    """Abstract cycles left intact by a prohibition set (empty is necessary
+    for deadlock freedom)."""
+    prohibited = set(prohibited)
+    return [
+        c for c in abstract_cycles(n_dims) if not c.is_broken_by(prohibited)
+    ]
+
+
+def breaks_all_abstract_cycles(
+    n_dims: int, prohibited: Iterable[Turn]
+) -> bool:
+    """Necessary condition from Theorem 1: one prohibited turn per cycle."""
+    return not unbroken_cycles(n_dims, prohibited)
+
+
+def minimum_prohibited_turns(n_dims: int) -> int:
+    """Theorem 1: at least ``n(n-1)`` turns (a quarter) must be prohibited."""
+    return n_dims * (n_dims - 1)
+
+
+def two_turn_prohibitions_2d() -> List[Set[Turn]]:
+    """The 16 ways to prohibit one turn from each 2D abstract cycle.
+
+    Section 3 states that 12 of these prevent deadlock and, of those 12,
+    three are unique up to symmetry (west-first, north-last,
+    negative-first).  The concrete deadlock check lives in
+    :func:`repro.verification.cdg.turn_set_is_deadlock_free`.
+    """
+    ccw, cw = plane_cycles(0, 1)
+    return [
+        {t_ccw, t_cw}
+        for t_ccw in ccw.turns
+        for t_cw in cw.turns
+    ]

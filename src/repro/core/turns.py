@@ -1,0 +1,78 @@
+"""Turns: the atomic objects the turn model reasons about.
+
+A *turn* is a change of travel direction at a router.  In an n-dimensional
+mesh each of the 2n directions offers ``2n - 2`` 90-degree turns (to any
+direction in a different dimension), for ``4n(n-1)`` turns total
+(Section 2).  180-degree turns (reversals) and 0-degree turns (transitions
+between virtual channels in the same physical direction) are handled
+separately by Steps 2 and 6 of the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List
+
+from ..topology.base import Direction, all_directions
+
+
+class TurnKind(Enum):
+    """Classification of a direction change (Step 2 of the model)."""
+
+    STRAIGHT = "straight"  # no direction change (not a turn)
+    NINETY = "90-degree"  # change to a different dimension
+    ONE_EIGHTY = "180-degree"  # reversal within a dimension
+
+
+@dataclass(frozen=True, order=True)
+class Turn:
+    """A transition from travelling in ``frm`` to travelling in ``to``."""
+
+    frm: Direction
+    to: Direction
+
+    @property
+    def kind(self) -> TurnKind:
+        if self.frm == self.to:
+            return TurnKind.STRAIGHT
+        if self.frm.dim == self.to.dim:
+            return TurnKind.ONE_EIGHTY
+        return TurnKind.NINETY
+
+    @property
+    def plane(self) -> tuple:
+        """The (lower dim, higher dim) plane this turn lies in."""
+        return tuple(sorted((self.frm.dim, self.to.dim)))
+
+    def __repr__(self) -> str:
+        return f"Turn({self.frm!r}->{self.to!r})"
+
+
+def ninety_degree_turns(n_dims: int) -> List[Turn]:
+    """All ``4n(n-1)`` 90-degree turns of an n-dimensional mesh."""
+    dirs = all_directions(n_dims)
+    return [
+        Turn(frm, to)
+        for frm in dirs
+        for to in dirs
+        if frm.dim != to.dim
+    ]
+
+
+def one_eighty_degree_turns(n_dims: int) -> List[Turn]:
+    """All ``2n`` reversal turns of an n-dimensional mesh."""
+    return [Turn(d, d.opposite) for d in all_directions(n_dims)]
+
+
+def turns_in_plane(n_dims: int, dim_a: int, dim_b: int) -> List[Turn]:
+    """The eight 90-degree turns within one plane of the mesh."""
+    if dim_a == dim_b:
+        raise ValueError("a plane needs two distinct dimensions")
+    plane = tuple(sorted((dim_a, dim_b)))
+    return [t for t in ninety_degree_turns(n_dims) if t.plane == plane]
+
+
+def count_ninety_degree_turns(n_dims: int) -> int:
+    """Closed form ``4n(n-1)`` from Section 2."""
+    return 4 * n_dims * (n_dims - 1)

@@ -1,0 +1,65 @@
+"""Routing algorithms: the paper's partially adaptive turn-model
+algorithms and the nonadaptive dimension-order baselines."""
+
+from .base import RoutingAlgorithm, sort_canonical
+from .dimension_order import DimensionOrder, ECube, XY
+from .ndim import (
+    AllButOneNegativeFirst,
+    AllButOnePositiveLast,
+    NegativeFirst,
+    NorthLast,
+    TwoPhaseRouting,
+    WestFirst,
+)
+from .paths import (
+    RoutingDeadEnd,
+    directions_of_path,
+    enumerate_minimal_paths,
+    path_channels,
+    path_respects_turn_model,
+    walk,
+)
+from .pcube import NonminimalPCube, PCube
+from .registry import (
+    algorithm_names,
+    hypercube_algorithms,
+    make_algorithm,
+    mesh_algorithms,
+    torus_algorithms,
+)
+from .torus import ClassifiedNegativeFirst, FirstHopWraparound, MeshRestriction
+from .turn_restricted import TurnRestrictedMinimal
+from .virtual import DatelineDimensionOrder, EscapeVCAdaptive
+
+__all__ = [
+    "AllButOneNegativeFirst",
+    "AllButOnePositiveLast",
+    "ClassifiedNegativeFirst",
+    "DatelineDimensionOrder",
+    "DimensionOrder",
+    "ECube",
+    "EscapeVCAdaptive",
+    "FirstHopWraparound",
+    "MeshRestriction",
+    "NegativeFirst",
+    "NonminimalPCube",
+    "NorthLast",
+    "PCube",
+    "RoutingAlgorithm",
+    "RoutingDeadEnd",
+    "TurnRestrictedMinimal",
+    "TwoPhaseRouting",
+    "WestFirst",
+    "XY",
+    "algorithm_names",
+    "directions_of_path",
+    "enumerate_minimal_paths",
+    "hypercube_algorithms",
+    "make_algorithm",
+    "mesh_algorithms",
+    "path_channels",
+    "path_respects_turn_model",
+    "sort_canonical",
+    "torus_algorithms",
+    "walk",
+]

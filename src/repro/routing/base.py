@@ -1,0 +1,135 @@
+"""The routing-algorithm interface.
+
+A routing algorithm is bound to a topology and answers one question: given
+the node a packet's header currently occupies, its destination, and
+(optionally) the direction it arrived travelling, which output directions
+may it take next?
+
+The paper's partially adaptive algorithms are *phase structured* ("route
+first west, then adaptively ..."), which for minimal routing is fully
+determined by the current node and the destination — the arrival direction
+is not needed.  Nonminimal variants expose additional *escape* candidates:
+legal but non-distance-reducing moves a router may use when every minimal
+candidate is blocked.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Tuple
+
+from ..core.turn_model import TurnModel
+from ..topology.base import Direction, Topology
+
+
+class RoutingAlgorithm(ABC):
+    """Base class: a routing function bound to one topology instance."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._validate_topology()
+
+    def _validate_topology(self) -> None:
+        """Subclasses override to reject unsupported topologies."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short identifier, e.g. ``"west-first"``."""
+
+    @property
+    def is_minimal(self) -> bool:
+        """Whether ``candidates`` only ever returns distance-reducing moves."""
+        return True
+
+    @property
+    def is_adaptive(self) -> bool:
+        """Whether the algorithm can offer more than one candidate."""
+        return True
+
+    @abstractmethod
+    def candidates(
+        self,
+        current: int,
+        dest: int,
+        in_direction: Optional[Direction] = None,
+    ) -> List[Direction]:
+        """Permitted output directions, in canonical (dim, sign) order.
+
+        Returns an empty list when ``current == dest`` (the packet ejects).
+        Every returned direction must lead to an existing neighbour.
+        """
+
+    def escape_candidates(
+        self,
+        current: int,
+        dest: int,
+        in_direction: Optional[Direction] = None,
+    ) -> List[Direction]:
+        """Legal nonminimal moves, used only when all candidates are blocked.
+
+        Minimal algorithms return an empty list (the paper's Section 6
+        simulations route minimally).
+        """
+        return []
+
+    # -- virtual channels (the extra-channel extension, [18]) ---------------
+
+    def vc_candidates(
+        self,
+        current: int,
+        dest: int,
+        in_direction: Optional[Direction],
+        in_vc: Optional[int],
+        num_vc: int,
+    ) -> List[Tuple[Direction, int]]:
+        """Permitted (direction, virtual channel) pairs.
+
+        The default lets a VC-oblivious algorithm use any virtual channel
+        of a permitted direction — safe for the turn-model algorithms,
+        whose prohibition argument is independent of channel
+        multiplicity.  VC-disciplined algorithms (dateline torus routing,
+        escape-VC adaptive routing) override this.
+        """
+        return [
+            (direction, vc)
+            for direction in self.candidates(current, dest, in_direction)
+            for vc in range(num_vc)
+        ]
+
+    def vc_escape_candidates(
+        self,
+        current: int,
+        dest: int,
+        in_direction: Optional[Direction],
+        in_vc: Optional[int],
+        num_vc: int,
+    ) -> List[Tuple[Direction, int]]:
+        """Nonminimal (direction, vc) pairs; default mirrors
+        :meth:`escape_candidates` over every virtual channel."""
+        return [
+            (direction, vc)
+            for direction in self.escape_candidates(current, dest, in_direction)
+            for vc in range(num_vc)
+        ]
+
+    def turn_model(self) -> Optional[TurnModel]:
+        """The prohibition set this algorithm routes within, if one exists."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.topology!r})"
+
+
+def require_mesh_dims(topology: Topology, n_dims: int) -> None:
+    if topology.n_dims != n_dims:
+        raise ValueError(
+            f"algorithm requires a {n_dims}-dimensional topology, "
+            f"got {topology.n_dims} dimensions"
+        )
+
+
+def sort_canonical(directions: List[Direction]) -> List[Direction]:
+    """Canonical (dim, sign) order — the paper's xy output-selection order
+    prefers the earliest of these."""
+    return sorted(directions, key=lambda d: (d.dim, d.sign))

@@ -1,0 +1,95 @@
+"""Nonadaptive dimension-order routing: xy (2D meshes) and e-cube
+(hypercubes).
+
+These are the paper's baselines (Section 1): route a packet completely
+along the lowest dimension with a nonzero remaining offset, then the next,
+and so on.  Ordering the dimensions breaks every abstract cycle — at the
+cost of all adaptiveness (Figure 3)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.turn_model import TurnModel
+from ..topology.base import Direction, NEGATIVE, POSITIVE
+from .base import RoutingAlgorithm
+
+
+class DimensionOrder(RoutingAlgorithm):
+    """Route dimensions in ascending order; deterministic and deadlock free.
+
+    On a 2D mesh this is the *xy* algorithm; on a hypercube it is
+    *e-cube* (the offset in each dimension is a single bit flip).
+    """
+
+    def __init__(self, topology, order: Optional[List[int]] = None) -> None:
+        super().__init__(topology)
+        if order is None:
+            order = list(range(topology.n_dims))
+        if sorted(order) != list(range(topology.n_dims)):
+            raise ValueError(
+                f"order must be a permutation of the dimensions, got {order}"
+            )
+        self.order = list(order)
+
+    @property
+    def name(self) -> str:
+        if self.order != sorted(self.order):
+            return "dimension-order" + "".join(str(d) for d in self.order)
+        if self.topology.n_dims == 2:
+            return "xy"
+        if set(self.topology.dims) == {2}:
+            return "e-cube"
+        return "dimension-order"
+
+    @property
+    def is_adaptive(self) -> bool:
+        return False
+
+    def candidates(
+        self,
+        current: int,
+        dest: int,
+        in_direction: Optional[Direction] = None,
+    ) -> List[Direction]:
+        for dim in self.order:
+            delta = self.topology.offset(current, dest, dim)
+            if delta < 0:
+                return [Direction(dim, NEGATIVE)]
+            if delta > 0:
+                return [Direction(dim, POSITIVE)]
+        return []
+
+    def turn_model(self) -> TurnModel:
+        if self.order == sorted(self.order):
+            return TurnModel.xy(self.topology.n_dims)
+        # A permuted order prohibits turns from later to earlier dimensions.
+        from ..core.turns import ninety_degree_turns
+
+        rank = {dim: i for i, dim in enumerate(self.order)}
+        prohibited = {
+            t
+            for t in ninety_degree_turns(self.topology.n_dims)
+            if rank[t.frm.dim] > rank[t.to.dim]
+        }
+        return TurnModel.from_prohibited(
+            self.name, self.topology.n_dims, prohibited
+        )
+
+
+class XY(DimensionOrder):
+    """The xy routing algorithm for 2D meshes (x completely, then y)."""
+
+    def __init__(self, topology) -> None:
+        if topology.n_dims != 2:
+            raise ValueError("xy routing requires a 2D topology")
+        super().__init__(topology, order=[0, 1])
+
+
+class ECube(DimensionOrder):
+    """The e-cube routing algorithm for hypercubes (lowest dimension first)."""
+
+    def __init__(self, topology) -> None:
+        if set(topology.dims) != {2}:
+            raise ValueError("e-cube routing requires a binary hypercube")
+        super().__init__(topology)

@@ -1,0 +1,100 @@
+"""p-cube routing for hypercubes (Section 5, Figures 11 and 12).
+
+The hypercube special case of negative-first has a compact bitwise form.
+With ``C`` the current address and ``D`` the destination:
+
+* phase 1 routes along any dimension ``i`` with ``c_i = 1, d_i = 0``
+  (clearing a 1 — the *negative* direction);
+* once no such dimension remains, phase 2 routes along any dimension with
+  ``c_i = 0, d_i = 1`` (setting a 0 — the *positive* direction).
+
+The nonminimal variant (Figure 12's discussion) additionally lets phase 1
+route along dimensions with ``c_i = 1, d_i = 1``: still a negative move,
+at the cost of having to set the bit again later.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.turn_model import TurnModel
+from ..topology.base import Direction, NEGATIVE, POSITIVE
+from ..topology.hypercube import Hypercube
+from .base import RoutingAlgorithm, sort_canonical
+
+
+def _dims_of(mask: int, n: int) -> List[int]:
+    return [i for i in range(n) if (mask >> i) & 1]
+
+
+class PCube(RoutingAlgorithm):
+    """Minimal p-cube routing (Figure 11)."""
+
+    def __init__(self, topology: Hypercube) -> None:
+        if not isinstance(topology, Hypercube) and set(topology.dims) != {2}:
+            raise ValueError("p-cube routing requires a binary hypercube")
+        super().__init__(topology)
+        self._mask = (1 << topology.n_dims) - 1
+
+    @property
+    def name(self) -> str:
+        return "p-cube"
+
+    def candidates(
+        self,
+        current: int,
+        dest: int,
+        in_direction: Optional[Direction] = None,
+    ) -> List[Direction]:
+        if current == dest:
+            return []
+        r = current & ~dest & self._mask  # step 2: R = C AND NOT D
+        if r:
+            if in_direction is not None and in_direction.is_positive:
+                # Unreachable under p-cube (phase-1 work is never pending
+                # after a positive hop); report a dead end rather than a
+                # prohibited positive-to-negative turn.
+                return []
+            return [Direction(i, NEGATIVE) for i in _dims_of(r, self.topology.n_dims)]
+        r = ~current & dest & self._mask  # step 3: R = NOT C AND D
+        return [Direction(i, POSITIVE) for i in _dims_of(r, self.topology.n_dims)]
+
+    def turn_model(self) -> TurnModel:
+        return TurnModel.negative_first(self.topology.n_dims)
+
+
+class NonminimalPCube(PCube):
+    """p-cube with the nonminimal phase-1 extension.
+
+    ``escape_candidates`` returns the dimensions with ``c_i = 1, d_i = 1``
+    while phase 1 is active: legal negative moves that leave the shortest
+    path but increase adaptiveness and fault tolerance.
+    """
+
+    @property
+    def name(self) -> str:
+        return "p-cube-nonminimal"
+
+    @property
+    def is_minimal(self) -> bool:
+        return False
+
+    def escape_candidates(
+        self,
+        current: int,
+        dest: int,
+        in_direction: Optional[Direction] = None,
+    ) -> List[Direction]:
+        if current == dest:
+            return []
+        if in_direction is not None and in_direction.is_positive:
+            # A positive-to-negative turn is prohibited, so the nonminimal
+            # extension is only reachable while still travelling phase 1.
+            return []
+        phase1 = current & ~dest & self._mask
+        if not phase1:
+            return []
+        shared = current & dest & self._mask
+        return sort_canonical(
+            [Direction(i, NEGATIVE) for i in _dims_of(shared, self.topology.n_dims)]
+        )

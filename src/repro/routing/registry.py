@@ -1,0 +1,107 @@
+"""Name-based construction of routing algorithms.
+
+The benchmark harness and examples refer to algorithms by the short names
+the paper uses (``xy``, ``e-cube``, ``west-first``, ``north-last``,
+``negative-first``, ``abonf``, ``abopl``, ``p-cube``); this registry maps
+those names to constructors for a given topology.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..topology.base import Topology
+from ..topology.hypercube import Hypercube
+from ..topology.torus import KAryNCube
+from .base import RoutingAlgorithm
+from .dimension_order import DimensionOrder, ECube, XY
+from .ndim import (
+    AllButOneNegativeFirst,
+    AllButOnePositiveLast,
+    NegativeFirst,
+    NorthLast,
+    WestFirst,
+)
+from .pcube import NonminimalPCube, PCube
+from .torus import ClassifiedNegativeFirst, FirstHopWraparound
+from .virtual import DatelineDimensionOrder, EscapeVCAdaptive
+
+Factory = Callable[[Topology], RoutingAlgorithm]
+
+_FACTORIES: Dict[str, Factory] = {
+    "xy": XY,
+    "e-cube": ECube,
+    "ecube": ECube,
+    "dimension-order": DimensionOrder,
+    "west-first": WestFirst,
+    "north-last": NorthLast,
+    "negative-first": NegativeFirst,
+    "nf": NegativeFirst,
+    "abonf": AllButOneNegativeFirst,
+    "abopl": AllButOnePositiveLast,
+    "p-cube": PCube,
+    "pcube": PCube,
+    "p-cube-nonminimal": NonminimalPCube,
+    "negative-first-torus": ClassifiedNegativeFirst,
+    "negative-first+wrap1": FirstHopWraparound,
+    # The virtual-channel extension algorithms (need virtual_channels>=2
+    # in the simulation config).
+    "dateline-dimension-order": DatelineDimensionOrder,
+    "dateline": DatelineDimensionOrder,
+    "escape-vc-adaptive": EscapeVCAdaptive,
+}
+
+
+def algorithm_names() -> List[str]:
+    """Canonical registry names (aliases collapsed)."""
+    seen = {}
+    for name, factory in _FACTORIES.items():
+        seen.setdefault(factory, name)
+    return sorted(seen.values())
+
+
+def make_algorithm(name: str, topology: Topology) -> RoutingAlgorithm:
+    """Build the named algorithm on ``topology``.
+
+    Raises ``KeyError`` for unknown names and ``ValueError`` when the
+    algorithm does not support the topology.
+    """
+    key = name.strip().lower()
+    if key not in _FACTORIES:
+        raise KeyError(
+            f"unknown routing algorithm {name!r}; known: {algorithm_names()}"
+        )
+    return _FACTORIES[key](topology)
+
+
+def mesh_algorithms(topology: Topology) -> List[RoutingAlgorithm]:
+    """The four algorithms the paper compares on the 16x16 mesh."""
+    return [
+        XY(topology),
+        WestFirst(topology),
+        NorthLast(topology),
+        NegativeFirst(topology),
+    ]
+
+
+def hypercube_algorithms(topology: Hypercube) -> List[RoutingAlgorithm]:
+    """The four algorithms the paper compares on the binary 8-cube.
+
+    ABONF, ABOPL, and negative-first operate on the hypercube through the
+    general n-dimensional mesh formulation (negative-first's hypercube
+    special case is p-cube).
+    """
+    return [
+        ECube(topology),
+        AllButOneNegativeFirst(topology),
+        AllButOnePositiveLast(topology),
+        PCube(topology),
+    ]
+
+
+def torus_algorithms(topology: KAryNCube) -> List[RoutingAlgorithm]:
+    """The Section 4.2 extensions plus a deterministic baseline."""
+    return [
+        FirstHopWraparound(topology),
+        ClassifiedNegativeFirst(topology),
+    ]

@@ -1,0 +1,199 @@
+"""Turn-model routing on k-ary n-cubes (Section 4.2).
+
+Wraparound channels create cycles that involve no turns at all, so for
+``k > 4`` no deadlock-free *minimal* algorithm exists without extra
+channels; the paper's torus algorithms are strictly nonminimal.  Two
+extensions are given:
+
+* **first-hop wraparound** — any mesh algorithm, plus permission to take a
+  wraparound channel on the packet's first hop only.  Wraparound channels
+  are numbered above all mesh channels, so monotonicity is preserved.
+* **classified negative-first** — each wraparound channel is classified by
+  the edge it lands on (the channel from the east edge to the west edge
+  counts as a second *west* channel) and negative-first is applied to the
+  classified directions.
+
+Both operate on *mesh offsets* (the plain coordinate difference) after any
+wraparound hop, so routing always terminates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..core.turn_model import TurnModel
+from ..topology.base import Direction, NEGATIVE, POSITIVE, Topology
+from ..topology.torus import KAryNCube
+from .base import RoutingAlgorithm, sort_canonical
+from .ndim import NegativeFirst
+
+
+class MeshRestriction(Topology):
+    """A torus viewed as a mesh: wraparound channels hidden, plain offsets.
+
+    Mesh routing algorithms instantiated on this view route correctly on
+    the underlying torus, because every direction they emit corresponds to
+    a non-wraparound torus channel.
+    """
+
+    def __init__(self, torus: KAryNCube) -> None:
+        super().__init__(torus.dims)
+        self.torus = torus
+
+    def neighbor(self, node: int, direction: Direction) -> Optional[int]:
+        if self.torus.is_wraparound(node, direction):
+            return None
+        return self.torus.neighbor(node, direction)
+
+    def is_wraparound(self, node: int, direction: Direction) -> bool:
+        return False
+
+    def offset(self, src: int, dst: int, dim: int) -> int:
+        return self.coords(dst)[dim] - self.coords(src)[dim]
+
+
+class FirstHopWraparound(RoutingAlgorithm):
+    """A mesh algorithm extended with wraparound channels on the first hop.
+
+    ``base_factory`` builds the underlying mesh algorithm (e.g.
+    ``NegativeFirst``) on the mesh view of the torus.  At injection
+    (``in_direction is None``) the packet may additionally take any
+    wraparound channel that strictly reduces its remaining mesh distance.
+    """
+
+    def __init__(
+        self,
+        topology: KAryNCube,
+        base_factory: Callable[[Topology], RoutingAlgorithm] = NegativeFirst,
+    ) -> None:
+        if not isinstance(topology, KAryNCube):
+            raise ValueError("first-hop wraparound routing requires a k-ary n-cube")
+        super().__init__(topology)
+        self.mesh_view = MeshRestriction(topology)
+        self.base = base_factory(self.mesh_view)
+
+    @property
+    def name(self) -> str:
+        return f"{self.base.name}+wrap1"
+
+    @property
+    def is_minimal(self) -> bool:
+        return False
+
+    def _effective_in_direction(
+        self, current: int, in_direction: Optional[Direction]
+    ) -> Optional[Direction]:
+        """Treat a wraparound arrival as a fresh injection.
+
+        Wraparound channels are numbered below every mesh channel and are
+        only ever a packet's first hop, so the base algorithm may start
+        its turn discipline afresh at the landing node.  An arrival at
+        coordinate 0 travelling positively (or at ``k - 1`` travelling
+        negatively) can only have come across the wraparound.
+        """
+        if in_direction is None:
+            return None
+        coord = self.topology.coords(current)[in_direction.dim]
+        k = self.topology.k
+        wrapped = (in_direction.is_positive and coord == 0) or (
+            in_direction.is_negative and coord == k - 1
+        )
+        return None if wrapped else in_direction
+
+    def candidates(
+        self,
+        current: int,
+        dest: int,
+        in_direction: Optional[Direction] = None,
+    ) -> List[Direction]:
+        effective = self._effective_in_direction(current, in_direction)
+        out = list(self.base.candidates(current, dest, effective))
+        # Wraparound channels are offered at true injection only — a
+        # wraparound arrival restarts the base discipline (``effective``)
+        # but must not enable a second wraparound hop.
+        if in_direction is None and current != dest:
+            here = self.mesh_view.distance(current, dest)
+            for direction in self.topology.directions():
+                if not self.topology.is_wraparound(current, direction):
+                    continue
+                nbr = self.topology.neighbor(current, direction)
+                if nbr is None:
+                    continue
+                if self.mesh_view.distance(nbr, dest) + 1 < here:
+                    out.append(direction)
+        return sort_canonical(out)
+
+    def escape_candidates(
+        self,
+        current: int,
+        dest: int,
+        in_direction: Optional[Direction] = None,
+    ) -> List[Direction]:
+        in_direction = self._effective_in_direction(current, in_direction)
+        return self.base.escape_candidates(current, dest, in_direction)
+
+    def turn_model(self) -> Optional[TurnModel]:
+        return self.base.turn_model()
+
+
+class ClassifiedNegativeFirst(RoutingAlgorithm):
+    """Negative-first with wraparound channels classified by landing edge.
+
+    A wraparound channel from coordinate ``k-1`` to coordinate ``0`` is a
+    second *negative* channel (it lands on the negative edge) and is a
+    phase-1 candidate whenever negative progress is needed in its
+    dimension.  A wraparound from ``0`` to ``k-1`` is a second *positive*
+    channel, usable in phase 2 — but only when the destination coordinate
+    is exactly ``k-1``, since any overshoot would require a prohibited
+    positive-to-negative turn to correct.
+    """
+
+    def __init__(self, topology: KAryNCube) -> None:
+        if not isinstance(topology, KAryNCube):
+            raise ValueError("classified negative-first requires a k-ary n-cube")
+        super().__init__(topology)
+        self.mesh_view = MeshRestriction(topology)
+
+    @property
+    def name(self) -> str:
+        return "negative-first-torus"
+
+    @property
+    def is_minimal(self) -> bool:
+        return False
+
+    def candidates(
+        self,
+        current: int,
+        dest: int,
+        in_direction: Optional[Direction] = None,
+    ) -> List[Direction]:
+        if current == dest:
+            return []
+        cur = self.topology.coords(current)
+        dst = self.topology.coords(dest)
+        k = self.topology.k
+        negatives: List[Direction] = []
+        positives: List[Direction] = []
+        for dim in range(self.topology.n_dims):
+            delta = dst[dim] - cur[dim]
+            if delta < 0:
+                # Mesh channel west-ward is always available when needed.
+                negatives.append(Direction(dim, NEGATIVE))
+                # The classified-negative wraparound leaves the positive
+                # edge; physically it is the +dim channel.
+                if cur[dim] == k - 1 and k > 2:
+                    negatives.append(Direction(dim, POSITIVE))
+            elif delta > 0:
+                if cur[dim] < k - 1:
+                    positives.append(Direction(dim, POSITIVE))
+                # The classified-positive wraparound (physically -dim) is
+                # productive only when it lands exactly on the destination
+                # coordinate.
+                if cur[dim] == 0 and dst[dim] == k - 1 and k > 2:
+                    positives.append(Direction(dim, NEGATIVE))
+        chosen = negatives if negatives else positives
+        return sort_canonical(chosen)
+
+    def turn_model(self) -> TurnModel:
+        return TurnModel.negative_first(self.topology.n_dims)

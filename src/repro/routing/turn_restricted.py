@@ -1,0 +1,96 @@
+"""Maximal minimal-adaptive routing under an arbitrary turn model.
+
+Given any prohibition set, the *maximally adaptive* minimal routing
+function offers every productive direction from which the rest of the
+journey can still be completed without a prohibited turn.  Completability
+is decided by a memoised search over ``(node, heading)`` states following
+productive moves only — a DAG, since distance strictly decreases.
+
+Two uses:
+
+* with the paper's prohibition sets it reproduces the phase-structured
+  algorithms exactly (a property the test suite checks), supporting the
+  paper's claim that they are maximally adaptive;
+* with a *bad* prohibition set (Figure 4) or an empty one (Figure 1) it
+  yields a well-defined routing function that the simulator can drive
+  into real deadlock, demonstrating why the turn model matters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.turn_model import TurnModel
+from ..topology.base import Direction, Topology
+from .base import RoutingAlgorithm, sort_canonical
+
+
+class TurnRestrictedMinimal(RoutingAlgorithm):
+    """Minimal adaptive routing confined to a turn model's allowed turns.
+
+    Deadlock freedom depends entirely on the supplied model: safe
+    prohibition sets give deadlock-free routing, unsafe ones (like the
+    Figure 4 pair) do not — which is the point.
+    """
+
+    def __init__(self, topology: Topology, model: TurnModel) -> None:
+        super().__init__(topology)
+        if model.n_dims != topology.n_dims:
+            raise ValueError(
+                f"model covers {model.n_dims} dims, topology has "
+                f"{topology.n_dims}"
+            )
+        self.model = model
+        # (node, heading, dest) -> completable; heading None = injection.
+        self._memo: Dict[Tuple[int, Optional[Direction], int], bool] = {}
+
+    @property
+    def name(self) -> str:
+        return f"turn-restricted({self.model.name})"
+
+    def candidates(
+        self,
+        current: int,
+        dest: int,
+        in_direction: Optional[Direction] = None,
+    ) -> List[Direction]:
+        out = []
+        for direction in self.topology.productive_directions(current, dest):
+            if in_direction is not None and not self.model.is_allowed(
+                in_direction, direction
+            ):
+                continue
+            nbr = self.topology.neighbor(current, direction)
+            if nbr is None:
+                continue
+            if self._completable(nbr, direction, dest):
+                out.append(direction)
+        return sort_canonical(out)
+
+    def _completable(
+        self, node: int, heading: Optional[Direction], dest: int
+    ) -> bool:
+        """Whether some minimal turn-legal path exists from this state."""
+        if node == dest:
+            return True
+        key = (node, heading, dest)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        result = False
+        for direction in self.topology.productive_directions(node, dest):
+            if heading is not None and not self.model.is_allowed(
+                heading, direction
+            ):
+                continue
+            nbr = self.topology.neighbor(node, direction)
+            if nbr is None:
+                continue
+            if self._completable(nbr, direction, dest):
+                result = True
+                break
+        self._memo[key] = result
+        return result
+
+    def turn_model(self) -> TurnModel:
+        return self.model

@@ -1,0 +1,162 @@
+"""Routing with extra (virtual) channels — the extension the paper
+defers to its companion work [18].
+
+Two classic VC disciplines complement the turn model's no-extra-channel
+results:
+
+* :class:`DatelineDimensionOrder` — Dally & Seitz's torus routing.
+  Section 4.2 observes that for k-ary n-cubes with ``k > 4`` *minimal*
+  deadlock-free routing is impossible without extra channels (ring
+  cycles involve no turns at all).  Splitting each ring into two virtual
+  channels at a *dateline* — packets start on VC0 and switch to VC1 when
+  they cross the wraparound — breaks the ring cycle and makes minimal
+  dimension-order torus routing deadlock free.
+
+* :class:`EscapeVCAdaptive` — fully adaptive minimal mesh routing in the
+  style of [18]/Duato: virtual channels 1..v-1 are *adaptive* (any
+  productive direction), virtual channel 0 is an *escape* running xy.
+  A packet may always fall back to the escape channel, and once on it,
+  stays on it (the restricted discipline, which is deadlock free because
+  the escape subnetwork's dependencies are acyclic and always
+  requestable).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..topology.base import Direction, NEGATIVE, POSITIVE, Topology
+from ..topology.torus import KAryNCube
+from .base import RoutingAlgorithm, require_mesh_dims
+
+
+class DatelineDimensionOrder(RoutingAlgorithm):
+    """Minimal dimension-order routing on a torus with dateline VCs.
+
+    Requires at least two virtual channels.  Within each dimension a
+    packet travels on VC0 until the hop that crosses the wraparound edge
+    (the dateline), which — and everything after it in that dimension —
+    uses VC1.  Minimal paths wrap at most once per dimension, so both
+    VC chains are acyclic.
+    """
+
+    def __init__(self, topology: KAryNCube) -> None:
+        if not isinstance(topology, KAryNCube):
+            raise ValueError("dateline routing requires a k-ary n-cube")
+        super().__init__(topology)
+
+    @property
+    def name(self) -> str:
+        return "dateline-dimension-order"
+
+    @property
+    def is_adaptive(self) -> bool:
+        return False
+
+    def candidates(
+        self,
+        current: int,
+        dest: int,
+        in_direction: Optional[Direction] = None,
+    ) -> List[Direction]:
+        for dim in range(self.topology.n_dims):
+            delta = self.topology.offset(current, dest, dim)
+            if delta < 0:
+                return [Direction(dim, NEGATIVE)]
+            if delta > 0:
+                return [Direction(dim, POSITIVE)]
+        return []
+
+    def vc_candidates(
+        self,
+        current: int,
+        dest: int,
+        in_direction: Optional[Direction],
+        in_vc: Optional[int],
+        num_vc: int,
+    ) -> List[Tuple[Direction, int]]:
+        if num_vc < 2:
+            raise ValueError(
+                "dateline routing needs at least two virtual channels"
+            )
+        dirs = self.candidates(current, dest, in_direction)
+        if not dirs:
+            return []
+        direction = dirs[0]
+        if self.topology.is_wraparound(current, direction):
+            vc = 1  # the dateline crossing itself
+        elif (
+            in_direction is not None
+            and in_direction.dim == direction.dim
+            and in_vc == 1
+        ):
+            vc = 1  # already crossed the dateline in this dimension
+        else:
+            vc = 0
+        return [(direction, vc)]
+
+
+class EscapeVCAdaptive(RoutingAlgorithm):
+    """Fully adaptive minimal mesh routing with an xy escape channel.
+
+    ``vc_candidates`` offers every productive direction on the adaptive
+    virtual channels (1..v-1), plus the xy-preferred direction on the
+    escape channel (VC0), listed last so the arbiter prefers adaptivity.
+    A packet that arrives on the escape channel stays on it and follows
+    xy to the destination.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        super().__init__(topology)
+
+    def _validate_topology(self) -> None:
+        if self.topology.n_dims < 2:
+            raise ValueError("escape-VC routing expects a mesh with >= 2 dims")
+
+    @property
+    def name(self) -> str:
+        return "escape-vc-adaptive"
+
+    def candidates(
+        self,
+        current: int,
+        dest: int,
+        in_direction: Optional[Direction] = None,
+    ) -> List[Direction]:
+        return self.topology.productive_directions(current, dest)
+
+    def _xy_direction(self, current: int, dest: int) -> Optional[Direction]:
+        for dim in range(self.topology.n_dims):
+            delta = self.topology.offset(current, dest, dim)
+            if delta < 0:
+                return Direction(dim, NEGATIVE)
+            if delta > 0:
+                return Direction(dim, POSITIVE)
+        return None
+
+    def vc_candidates(
+        self,
+        current: int,
+        dest: int,
+        in_direction: Optional[Direction],
+        in_vc: Optional[int],
+        num_vc: int,
+    ) -> List[Tuple[Direction, int]]:
+        if num_vc < 2:
+            raise ValueError(
+                "escape-VC routing needs at least two virtual channels"
+            )
+        escape_dir = self._xy_direction(current, dest)
+        if escape_dir is None:
+            return []
+        if in_vc == 0 and in_direction is not None:
+            # Restricted discipline: once on the escape network, follow
+            # xy on the escape network to the destination.
+            return [(escape_dir, 0)]
+        pairs: List[Tuple[Direction, int]] = [
+            (direction, vc)
+            for direction in self.topology.productive_directions(current, dest)
+            for vc in range(1, num_vc)
+        ]
+        pairs.append((escape_dir, 0))
+        return pairs

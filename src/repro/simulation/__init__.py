@@ -1,0 +1,39 @@
+"""Flit-level wormhole network simulation (the Section 6 apparatus)."""
+
+from .config import SimulationConfig
+from .deadlock import DeadlockReport, build_wait_for_graph, detect_deadlock
+from .engine import WormholeSimulator
+from .metrics import SimulationResult
+from .packet import ChannelHold, Packet, PacketState
+from .selection import (
+    INPUT_POLICIES,
+    OUTPUT_POLICIES,
+    fcfs_input_selection,
+    get_input_policy,
+    get_output_policy,
+    random_input_selection,
+    random_output_selection,
+    xy_output_selection,
+    zigzag_output_selection,
+)
+
+__all__ = [
+    "ChannelHold",
+    "DeadlockReport",
+    "INPUT_POLICIES",
+    "OUTPUT_POLICIES",
+    "Packet",
+    "PacketState",
+    "SimulationConfig",
+    "SimulationResult",
+    "WormholeSimulator",
+    "build_wait_for_graph",
+    "detect_deadlock",
+    "fcfs_input_selection",
+    "get_input_policy",
+    "get_output_policy",
+    "random_input_selection",
+    "random_output_selection",
+    "xy_output_selection",
+    "zigzag_output_selection",
+]

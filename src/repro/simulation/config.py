@@ -1,0 +1,135 @@
+"""Simulation configuration.
+
+Defaults reproduce the experimental setup of Section 6 of the paper:
+
+* channel bandwidth 20 flits/microsecond (one flit per cycle, so a cycle
+  is 0.05 us);
+* every input channel has a single-flit buffer;
+* messages are one packet of 10 or 200 flits with equal probability;
+* message interarrival times are negative-exponential (the per-cycle
+  Bernoulli trial below is the discrete equivalent — geometric
+  interarrivals converge to exponential at these rates);
+* blocked messages queue at the source processor; arriving messages are
+  consumed immediately (modulo the single ejection channel's bandwidth);
+* *local first-come-first-served* input selection and *xy* (lowest
+  dimension first) output selection;
+* minimal routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs for one wormhole simulation run."""
+
+    # -- paper parameters ---------------------------------------------------
+    channel_bandwidth: float = 20.0
+    """Flits per microsecond on every channel (paper: 20)."""
+
+    buffer_depth: int = 1
+    """Flits of buffering per input channel (paper: 1)."""
+
+    virtual_channels: int = 1
+    """Virtual channels per physical channel (paper: 1 — the whole point
+    of the turn model is adaptivity *without* extra channels; values > 1
+    support the extension algorithms such as dateline torus routing and
+    escape-VC fully adaptive routing).  Virtual channels share their
+    physical link's bandwidth: one flit per link per cycle."""
+
+    message_lengths: Tuple[int, ...] = (10, 200)
+    """Packet lengths in flits, sampled uniformly (paper: 10 or 200)."""
+
+    offered_load: float = 1.0
+    """Offered traffic per node, in flits per microsecond."""
+
+    # -- run control ---------------------------------------------------------
+    warmup_cycles: int = 2_000
+    """Cycles simulated before measurement starts."""
+
+    measure_cycles: int = 8_000
+    """Cycles in the measurement window."""
+
+    seed: int = 0
+    """Seed for the run's private random generator."""
+
+    input_selection: str = "fcfs"
+    """Arbitration among headers contending for one output channel
+    (paper: local first-come-first-served)."""
+
+    output_selection: str = "xy"
+    """Choice among multiple available output channels (paper: the
+    channel along the lowest dimension)."""
+
+    misroute_limit: int = 0
+    """Maximum nonminimal (escape) hops per packet; 0 = minimal routing,
+    as in all of the paper's simulations."""
+
+    deadlock_threshold: int = 5_000
+    """Cycles without any flit movement (while packets are in flight)
+    after which the run aborts with a deadlock report."""
+
+    queue_sample_period: int = 100
+    """Cycles between samples of the source-queue backlog."""
+
+    track_channel_load: bool = False
+    """Record per-channel flit counts during the measurement window
+    (exposed as ``SimulationResult.channel_flits``; used by the
+    channel-load heatmaps)."""
+
+    max_queue_per_node: int = 500
+    """Safety valve: stop generating at a node whose backlog exceeds this
+    (the run is long past saturation by then)."""
+
+    def __post_init__(self) -> None:
+        if self.channel_bandwidth <= 0:
+            raise ValueError("channel_bandwidth must be positive")
+        if self.buffer_depth < 1:
+            raise ValueError("buffer_depth must be at least 1 flit")
+        if self.virtual_channels < 1:
+            raise ValueError("virtual_channels must be at least 1")
+        if not self.message_lengths or any(
+            length < 1 for length in self.message_lengths
+        ):
+            raise ValueError("message_lengths must be positive")
+        if self.offered_load < 0:
+            raise ValueError("offered_load must be non-negative")
+        if self.warmup_cycles < 0 or self.measure_cycles <= 0:
+            raise ValueError("cycle counts must be positive")
+        if self.misroute_limit < 0:
+            raise ValueError("misroute_limit must be non-negative")
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def cycle_time_us(self) -> float:
+        """Duration of one simulator cycle in microseconds."""
+        return 1.0 / self.channel_bandwidth
+
+    @property
+    def mean_message_length(self) -> float:
+        return sum(self.message_lengths) / len(self.message_lengths)
+
+    @property
+    def messages_per_cycle(self) -> float:
+        """Per-node probability of generating a message each cycle."""
+        flits_per_cycle = self.offered_load / self.channel_bandwidth
+        return flits_per_cycle / self.mean_message_length
+
+    @property
+    def total_cycles(self) -> int:
+        return self.warmup_cycles + self.measure_cycles
+
+    def with_load(self, offered_load: float) -> "SimulationConfig":
+        """Copy of this config at a different offered load."""
+        from dataclasses import replace
+
+        return replace(self, offered_load=offered_load)
+
+    def with_seed(self, seed: int) -> "SimulationConfig":
+        from dataclasses import replace
+
+        return replace(self, seed=seed)

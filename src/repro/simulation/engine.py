@@ -1,0 +1,442 @@
+"""The cycle-driven flit-level wormhole network simulator.
+
+One simulator cycle is the transmission time of one flit on a channel
+(0.05 us at the paper's 20 flits/us).  Each cycle has three stages:
+
+1. **generation / injection** — processors create messages with
+   negative-exponential interarrival times; the head message of a source
+   queue becomes eligible when the node's injection channel is free;
+2. **arbitration** — every waiting header asks the routing algorithm for
+   its candidate outputs, picks one *free* candidate with the output
+   selection policy, and contested channels are awarded by the input
+   selection policy (local FCFS, as in the paper);
+3. **movement** — every worm shifts forward: one flit per cycle per held
+   channel, heads first so a whole unblocked worm advances one buffer per
+   cycle; ejection consumes one flit per cycle at the destination; tail
+   flits release channels as they drain.
+
+Worms whose scan produced no movement are parked on a dormant list (their
+buffers are private, so nothing can change until an arbitration grant
+wakes them) — this keeps saturated-network cycles cheap.
+
+A watchdog records the last cycle on which any flit moved or channel was
+granted; silence beyond ``config.deadlock_threshold`` with flits still in
+flight is reported as deadlock (used by the Figure 1/Figure 4
+demonstrations; the turn-model algorithms never trip it).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set
+
+from ..routing.base import RoutingAlgorithm
+from ..topology.base import Direction, Topology
+from .config import SimulationConfig
+from .metrics import SimulationResult
+from .packet import ChannelHold, Packet, PacketState
+from .selection import get_input_policy, get_output_policy
+
+
+class WormholeSimulator:
+    """Simulates one (algorithm, traffic pattern, load) operating point."""
+
+    def __init__(
+        self,
+        algorithm: RoutingAlgorithm,
+        pattern,
+        config: SimulationConfig,
+    ) -> None:
+        self.algorithm = algorithm
+        self.pattern = pattern
+        self.config = config
+        self.topology: Topology = algorithm.topology
+        self.rng = random.Random(config.seed)
+        self.output_policy = get_output_policy(config.output_selection)
+        self.input_policy = get_input_policy(config.input_selection)
+
+        # Dense channel indexing for the runtime state.  With virtual
+        # channels, each physical channel expands into ``num_vc`` runtime
+        # channels sharing the physical link's bandwidth; runtime id
+        # ``base + vc`` where ``base = channel_ids[(src, direction)]``.
+        self.num_vc = config.virtual_channels
+        physical = list(self.topology.channels())
+        self.channels: List = [
+            c for c in physical for _ in range(self.num_vc)
+        ]
+        self.channel_ids: Dict[tuple, int] = {
+            (c.src, c.direction): i * self.num_vc
+            for i, c in enumerate(physical)
+        }
+        self.channel_alloc: List[Optional[Packet]] = [None] * len(self.channels)
+        self.ejection_alloc: List[Optional[Packet]] = [None] * self.topology.num_nodes
+        self.injection_busy: List[Optional[Packet]] = [None] * self.topology.num_nodes
+
+        self.queues: List[Deque[Packet]] = [
+            deque() for _ in range(self.topology.num_nodes)
+        ]
+        self.sources = list(pattern.active_sources(self.topology))
+        self.next_arrival: Dict[int, float] = {}
+        rate = config.messages_per_cycle
+        if rate > 0:
+            for node in self.sources:
+                self.next_arrival[node] = self.rng.expovariate(rate)
+
+        # Insertion-ordered (dicts) so runs are exactly reproducible even
+        # under randomised selection policies.
+        self.waiting: Dict[Packet, None] = {}  # headers needing arbitration
+        self.active: Dict[Packet, None] = {}  # worms with flits in the network
+        self.dormant: Set[Packet] = set()  # fully blocked worms
+        self.pending_nodes: Set[int] = set()  # nonempty queue, injector free
+
+        self.cycle = 0
+        self.last_progress = 0
+        self._link_blocked = False
+        self._next_pid = 0
+        self._backlog = 0  # queued packets network-wide
+        self.channel_load = (
+            [0] * len(self.channels) if config.track_channel_load else None
+        )
+
+        self.result = SimulationResult(
+            algorithm=algorithm.name,
+            pattern=getattr(pattern, "name", type(pattern).__name__),
+            offered_load=config.offered_load,
+            num_nodes=self.topology.num_nodes,
+            active_sources=len(self.sources),
+            measure_cycles=config.measure_cycles,
+            cycle_time_us=config.cycle_time_us,
+        )
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Simulate warmup + measurement and return the measurements."""
+        config = self.config
+        total = config.total_cycles
+        for cycle in range(total):
+            self.cycle = cycle
+            self._generate(cycle)
+            self._inject(cycle)
+            self._arbitrate(cycle)
+            self._move(cycle)
+            if (
+                cycle >= config.warmup_cycles
+                and (cycle - config.warmup_cycles) % config.queue_sample_period == 0
+            ):
+                self.result.backlog_samples.append(self._backlog)
+            if cycle - self.last_progress > config.deadlock_threshold and (
+                self.active or self.waiting
+            ):
+                self.result.deadlock = True
+                self.result.deadlock_cycle = cycle
+                break
+        self.result.inflight_at_end = len(self.active)
+        self.result.channel_flits = self.channel_load
+        return self.result
+
+    def step(self) -> None:
+        """Advance a single cycle (for tests and interactive inspection)."""
+        self._generate(self.cycle)
+        self._inject(self.cycle)
+        self._arbitrate(self.cycle)
+        self._move(self.cycle)
+        self.cycle += 1
+
+    # -- stage 1: generation and injection ------------------------------------
+
+    def _generate(self, cycle: int) -> None:
+        if self.config.messages_per_cycle <= 0:
+            return
+        rate = self.config.messages_per_cycle
+        lengths = self.config.message_lengths
+        for node in self.sources:
+            when = self.next_arrival[node]
+            while when <= cycle:
+                when += self.rng.expovariate(rate)
+                if len(self.queues[node]) >= self.config.max_queue_per_node:
+                    continue
+                dst = self.pattern.dest(node, self.rng)
+                if dst is None or dst == node:
+                    continue
+                length = lengths[self.rng.randrange(len(lengths))]
+                self._enqueue(Packet(self._next_pid, node, dst, length, cycle))
+                self._next_pid += 1
+            self.next_arrival[node] = when
+
+    def _enqueue(self, packet: Packet) -> None:
+        """Queue a message at its source processor (public for tests and
+        for scripted workloads such as the deadlock demonstrations)."""
+        node = packet.src
+        self.queues[node].append(packet)
+        self._backlog += 1
+        if packet.created >= self.config.warmup_cycles:
+            self.result.generated_packets += 1
+        if self.injection_busy[node] is None:
+            self.pending_nodes.add(node)
+
+    def inject_packet(
+        self, src: int, dst: int, length: int, created: Optional[int] = None
+    ) -> Packet:
+        """Create and queue one message explicitly (scripted workloads)."""
+        if src == dst:
+            raise ValueError(
+                "messages to self are consumed locally and never enter the "
+                "network; src and dst must differ"
+            )
+        if length < 1:
+            raise ValueError("a packet needs at least one flit")
+        packet = Packet(
+            self._next_pid, src, dst, length, self.cycle if created is None else created
+        )
+        self._next_pid += 1
+        self._enqueue(packet)
+        return packet
+
+    def _inject(self, cycle: int) -> None:
+        if not self.pending_nodes:
+            return
+        for node in list(self.pending_nodes):
+            queue = self.queues[node]
+            if not queue or self.injection_busy[node] is not None:
+                self.pending_nodes.discard(node)
+                continue
+            packet = queue.popleft()
+            self._backlog -= 1
+            self.injection_busy[node] = packet
+            packet.state = PacketState.ROUTING
+            packet.header_wait_since = cycle
+            self.waiting[packet] = None
+            self.active[packet] = None
+            self.pending_nodes.discard(node)
+
+    # -- stage 2: arbitration --------------------------------------------------
+
+    def _candidate_channels(self, packet: Packet) -> List[tuple]:
+        """Free (direction, runtime channel id) pairs for this header."""
+        if self.num_vc == 1:
+            cands = self.algorithm.candidates(
+                packet.head_node, packet.dst, packet.head_direction
+            )
+            free = self._filter_free_single(packet.head_node, cands)
+            if not free and packet.misroutes < self.config.misroute_limit:
+                escapes = self.algorithm.escape_candidates(
+                    packet.head_node, packet.dst, packet.head_direction
+                )
+                free = self._filter_free_single(packet.head_node, escapes)
+            return free
+        pairs = self.algorithm.vc_candidates(
+            packet.head_node,
+            packet.dst,
+            packet.head_direction,
+            packet.head_vc,
+            self.num_vc,
+        )
+        free = self._filter_free_vc(packet.head_node, pairs)
+        if not free and packet.misroutes < self.config.misroute_limit:
+            escapes = self.algorithm.vc_escape_candidates(
+                packet.head_node,
+                packet.dst,
+                packet.head_direction,
+                packet.head_vc,
+                self.num_vc,
+            )
+            free = self._filter_free_vc(packet.head_node, escapes)
+        return free
+
+    def _filter_free_single(self, node: int, directions) -> List[tuple]:
+        out = []
+        for direction in directions:
+            cid = self.channel_ids[(node, direction)]
+            if self.channel_alloc[cid] is None:
+                out.append((direction, cid))
+        return out
+
+    def _filter_free_vc(self, node: int, pairs) -> List[tuple]:
+        out = []
+        for direction, vc in pairs:
+            base = self.channel_ids.get((node, direction))
+            if base is None or not 0 <= vc < self.num_vc:
+                continue
+            cid = base + vc
+            if self.channel_alloc[cid] is None:
+                out.append((direction, cid))
+        return out
+
+    def _arbitrate(self, cycle: int) -> None:
+        if not self.waiting:
+            return
+        channel_requests: Dict[int, List[Packet]] = {}
+        eject_requests: Dict[int, List[Packet]] = {}
+        for packet in self.waiting:
+            if packet.state is PacketState.EJECT_WAIT:
+                if self.ejection_alloc[packet.head_node] is None:
+                    eject_requests.setdefault(packet.head_node, []).append(packet)
+                continue
+            free = self._candidate_channels(packet)
+            if not free:
+                continue
+            directions = []
+            for direction, _ in free:
+                if direction not in directions:
+                    directions.append(direction)
+            direction = self.output_policy(directions, packet, self.rng)
+            # Respect the algorithm's virtual-channel preference order.
+            cid = next(c for d, c in free if d == direction)
+            channel_requests.setdefault(cid, []).append(packet)
+        for cid, contenders in channel_requests.items():
+            winner = self.input_policy(contenders, self.rng)
+            self._grant_channel(winner, cid)
+        for node, contenders in eject_requests.items():
+            winner = self.input_policy(contenders, self.rng)
+            self.ejection_alloc[node] = winner
+            winner.state = PacketState.EJECTING
+            self.waiting.pop(winner, None)
+            self.dormant.discard(winner)
+            self.last_progress = cycle
+
+    def _grant_channel(self, packet: Packet, cid: int) -> None:
+        if self.cycle >= self.config.warmup_cycles:
+            waited = self.cycle - packet.header_wait_since
+            if waited > self.result.max_grant_wait_cycles:
+                self.result.max_grant_wait_cycles = waited
+        channel = self.channels[cid]
+        self.channel_alloc[cid] = packet
+        packet.holds.append(ChannelHold(cid))
+        packet.state = PacketState.MOVING
+        packet.hops += 1
+        if self.topology.distance(
+            channel.dst, packet.dst
+        ) >= self.topology.distance(channel.src, packet.dst):
+            packet.misroutes += 1
+        self.waiting.pop(packet, None)
+        self.dormant.discard(packet)
+        self.last_progress = self.cycle
+
+    # -- stage 3: movement -------------------------------------------------------
+
+    def _move(self, cycle: int) -> None:
+        buffer_depth = self.config.buffer_depth
+        loads = None
+        if self.channel_load is not None and cycle >= self.config.warmup_cycles:
+            loads = self.channel_load
+        movers = [p for p in self.active if p not in self.dormant]
+        links_used = None
+        if self.num_vc > 1 and movers:
+            # Virtual channels share their physical link: one flit per
+            # link per cycle.  Rotate service order for fairness.
+            links_used = set()
+            rotation = cycle % len(movers)
+            movers = movers[rotation:] + movers[:rotation]
+        for packet in movers:
+            self._link_blocked = False
+            moved = self._move_packet(
+                packet, cycle, buffer_depth, loads, links_used
+            )
+            if moved:
+                self.last_progress = cycle
+            elif not self._link_blocked:
+                # A worm's buffers are private, so a zero-move scan stays
+                # zero until an arbitration grant un-parks the packet —
+                # unless the link-sharing arbitration (not the worm's own
+                # state) caused the stall, which can clear next cycle.
+                self.dormant.add(packet)
+
+    def _move_packet(
+        self,
+        packet: Packet,
+        cycle: int,
+        buffer_depth: int,
+        loads=None,
+        links_used=None,
+    ) -> int:
+        moved = 0
+        holds = packet.holds
+        # Ejection consumes one flit per cycle from the head-most buffer.
+        if packet.state is PacketState.EJECTING and holds:
+            head = holds[-1]
+            if head.buffered > 0:
+                head.buffered -= 1
+                packet.ejected += 1
+                moved += 1
+        # Shift one flit across each held channel, head first, so an
+        # unblocked worm advances one position per cycle.
+        for i in range(len(holds) - 1, -1, -1):
+            hold = holds[i]
+            if hold.moved >= packet.length or hold.buffered >= buffer_depth:
+                continue
+            supply = (
+                holds[i - 1].buffered > 0
+                if i > 0
+                else packet.launched < packet.length
+            )
+            if not supply:
+                continue
+            if links_used is not None:
+                link = hold.channel_id // self.num_vc
+                if link in links_used:
+                    self._link_blocked = True
+                    continue
+                links_used.add(link)
+            if i > 0:
+                holds[i - 1].buffered -= 1
+            else:
+                packet.launched += 1
+                if packet.injected is None:
+                    packet.injected = cycle
+                if packet.launched == packet.length:
+                    self._release_injection(packet)
+            hold.buffered += 1
+            hold.moved += 1
+            moved += 1
+            if loads is not None:
+                loads[hold.channel_id] += 1
+        # Header arrival at the next router.
+        if packet.state is PacketState.MOVING and holds and holds[-1].moved > 0:
+            channel = self.channels[holds[-1].channel_id]
+            packet.head_node = channel.dst
+            packet.head_direction = channel.direction
+            packet.head_vc = holds[-1].channel_id % self.num_vc
+            packet.header_wait_since = cycle
+            packet.state = (
+                PacketState.EJECT_WAIT
+                if channel.dst == packet.dst
+                else PacketState.ROUTING
+            )
+            self.waiting[packet] = None
+        # Release drained channels at the tail.
+        while holds and holds[0].moved >= packet.length and holds[0].buffered == 0:
+            hold = holds.pop(0)
+            self.channel_alloc[hold.channel_id] = None
+            moved += 1  # a release is progress for the watchdog
+        if packet.state is PacketState.EJECTING and packet.ejected == packet.length:
+            self._deliver(packet, cycle)
+            moved += 1
+        return moved
+
+    def _release_injection(self, packet: Packet) -> None:
+        node = packet.src
+        self.injection_busy[node] = None
+        if self.queues[node]:
+            self.pending_nodes.add(node)
+
+    def _deliver(self, packet: Packet, cycle: int) -> None:
+        packet.state = PacketState.DELIVERED
+        packet.delivered = cycle
+        self.ejection_alloc[packet.dst] = None
+        self.active.pop(packet, None)
+        self.dormant.discard(packet)
+        if packet.created >= self.config.warmup_cycles:
+            result = self.result
+            result.delivered_packets += 1
+            result.delivered_flits += packet.length
+            result.total_latency_cycles += cycle - packet.created
+            result.total_net_latency_cycles += cycle - (
+                packet.injected if packet.injected is not None else packet.created
+            )
+            result.total_hops += packet.hops
+            result.total_misroutes += packet.misroutes
+            result.latency_by_length.setdefault(packet.length, []).append(
+                cycle - packet.created
+            )

@@ -1,0 +1,137 @@
+"""Measurement results of a wormhole simulation run.
+
+The paper reports two characteristics per run: *average communication
+latency* (microseconds, from message creation at the source processor to
+delivery of the tail flit) and *average sustainable network throughput*
+(flits delivered per microsecond).  Throughput is "sustainable when the
+number of packets queued at their source processors is small and
+bounded"; :class:`SimulationResult` records the backlog trajectory so the
+sweep harness can apply exactly that test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured during one run's measurement window."""
+
+    algorithm: str
+    pattern: str
+    offered_load: float  # flits per microsecond per node
+    num_nodes: int
+    active_sources: int
+    measure_cycles: int
+    cycle_time_us: float
+
+    generated_packets: int = 0
+    delivered_packets: int = 0
+    delivered_flits: int = 0
+    total_latency_cycles: int = 0  # creation -> tail delivery, summed
+    total_net_latency_cycles: int = 0  # injection -> tail delivery, summed
+    total_hops: int = 0
+    total_misroutes: int = 0
+    latency_by_length: Dict[int, List[int]] = field(default_factory=dict)
+    backlog_samples: List[int] = field(default_factory=list)
+    deadlock: bool = False
+    deadlock_cycle: Optional[int] = None
+    inflight_at_end: int = 0
+    channel_flits: Optional[List[int]] = None
+    """Flits that crossed each channel during measurement (indexed like
+    the simulator's channel list; present when
+    ``config.track_channel_load`` is set)."""
+
+    max_grant_wait_cycles: int = 0
+    """Longest any header waited for an output-channel grant during the
+    measurement window — the paper's indefinite-postponement concern.
+    Local FCFS keeps this bounded; unfair policies let it grow."""
+
+    # -- headline metrics ----------------------------------------------------
+
+    @property
+    def measure_time_us(self) -> float:
+        return self.measure_cycles * self.cycle_time_us
+
+    @property
+    def avg_latency_us(self) -> Optional[float]:
+        """Mean creation-to-delivery latency of measured packets (us)."""
+        if self.delivered_packets == 0:
+            return None
+        return (
+            self.total_latency_cycles
+            / self.delivered_packets
+            * self.cycle_time_us
+        )
+
+    @property
+    def avg_network_latency_us(self) -> Optional[float]:
+        """Mean injection-to-delivery latency, excluding source queueing."""
+        if self.delivered_packets == 0:
+            return None
+        return (
+            self.total_net_latency_cycles
+            / self.delivered_packets
+            * self.cycle_time_us
+        )
+
+    @property
+    def throughput_flits_per_us(self) -> float:
+        """Aggregate network throughput: flits delivered per microsecond."""
+        return self.delivered_flits / self.measure_time_us
+
+    @property
+    def throughput_per_node(self) -> float:
+        """Delivered flits per microsecond per node."""
+        return self.throughput_flits_per_us / self.num_nodes
+
+    @property
+    def offered_flits_per_us(self) -> float:
+        """Aggregate offered load over the active sources."""
+        return self.offered_load * self.active_sources
+
+    @property
+    def avg_hops(self) -> Optional[float]:
+        if self.delivered_packets == 0:
+            return None
+        return self.total_hops / self.delivered_packets
+
+    # -- sustainability (the paper's criterion) ------------------------------
+
+    @property
+    def backlog_growth(self) -> float:
+        """Mean source-queue backlog in the last quarter of the window
+        minus the first quarter (packets, network-wide)."""
+        samples = self.backlog_samples
+        if len(samples) < 4:
+            return 0.0
+        quarter = max(1, len(samples) // 4)
+        head = samples[:quarter]
+        tail = samples[-quarter:]
+        return sum(tail) / len(tail) - sum(head) / len(head)
+
+    @property
+    def sustainable(self) -> bool:
+        """Whether the offered load was sustained: queues stayed small and
+        bounded, and no deadlock occurred."""
+        if self.deadlock:
+            return False
+        # "Small and bounded": backlog growth across the window below a
+        # fifth of a packet per active source.
+        limit = max(2.0, 0.2 * self.active_sources)
+        return self.backlog_growth < limit
+
+    def summary(self) -> str:
+        latency = self.avg_latency_us
+        lat = f"{latency:8.2f}us" if latency is not None else "   n/a  "
+        flag = "" if self.sustainable else "  [unsustainable]"
+        if self.deadlock:
+            flag = f"  [DEADLOCK @ cycle {self.deadlock_cycle}]"
+        return (
+            f"{self.algorithm:16s} {self.pattern:18s} "
+            f"offered={self.offered_flits_per_us:8.1f} fl/us "
+            f"delivered={self.throughput_flits_per_us:8.1f} fl/us "
+            f"latency={lat}{flag}"
+        )

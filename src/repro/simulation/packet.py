@@ -1,0 +1,96 @@
+"""Packets (messages) and their wormhole state.
+
+The paper's messages are single packets of 10 or 200 flits.  A packet in
+flight is a *worm*: a chain of held channels, each with up to
+``buffer_depth`` of the packet's flits sitting in the input buffer at its
+downstream end.  Channels are acquired at the head as the header flit
+advances and released at the tail once the last flit has drained out of
+the corresponding buffer.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Optional
+
+
+class PacketState(Enum):
+    QUEUED = "queued"  # waiting in the source processor's queue
+    ROUTING = "routing"  # header at a router, waiting for an output channel
+    MOVING = "moving"  # header crossing toward the next router
+    EJECT_WAIT = "eject-wait"  # header at the destination, waiting for ejection
+    EJECTING = "ejecting"  # draining into the destination processor
+    DELIVERED = "delivered"
+
+
+class ChannelHold:
+    """One channel held by a worm, plus the downstream-buffer occupancy."""
+
+    __slots__ = ("channel_id", "moved", "buffered")
+
+    def __init__(self, channel_id: int) -> None:
+        self.channel_id = channel_id
+        self.moved = 0  # flits that have crossed the physical link
+        self.buffered = 0  # flits currently in the downstream buffer
+
+    def __repr__(self) -> str:
+        return f"Hold(ch={self.channel_id}, moved={self.moved}, buf={self.buffered})"
+
+
+class Packet:
+    """A message and its in-network wormhole state."""
+
+    __slots__ = (
+        "pid",
+        "src",
+        "dst",
+        "length",
+        "created",
+        "injected",
+        "delivered",
+        "state",
+        "holds",
+        "launched",
+        "ejected",
+        "head_node",
+        "head_direction",
+        "head_vc",
+        "header_wait_since",
+        "misroutes",
+        "hops",
+    )
+
+    def __init__(
+        self, pid: int, src: int, dst: int, length: int, created: int
+    ) -> None:
+        self.pid = pid
+        self.src = src
+        self.dst = dst
+        self.length = length
+        self.created = created  # cycle the processor generated the message
+        self.injected: Optional[int] = None  # cycle the header left the source
+        self.delivered: Optional[int] = None  # cycle the tail flit ejected
+        self.state = PacketState.QUEUED
+        self.holds: List[ChannelHold] = []
+        self.launched = 0  # flits that have left the source processor
+        self.ejected = 0  # flits consumed at the destination
+        self.head_node = src  # router the header flit currently occupies
+        self.head_direction = None  # direction of the header's last hop
+        self.head_vc = None  # virtual channel of the header's last hop
+        self.header_wait_since = created  # for FCFS input selection
+        self.misroutes = 0  # nonminimal hops taken so far
+        self.hops = 0
+
+    @property
+    def in_network(self) -> bool:
+        return self.state not in (PacketState.QUEUED, PacketState.DELIVERED)
+
+    @property
+    def flits_in_network(self) -> int:
+        return self.launched - self.ejected
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(#{self.pid} {self.src}->{self.dst} len={self.length} "
+            f"{self.state.value})"
+        )

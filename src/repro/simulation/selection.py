@@ -1,0 +1,97 @@
+"""Input and output selection policies (Section 6).
+
+When several headers wait for the same free output channel, the *input
+selection policy* arbitrates; the paper uses **local first-come-first-
+served** (earliest arrival at the router wins), which is fair and
+prevents indefinite postponement.  When one header may choose among
+several free output channels, the *output selection policy* decides; the
+paper uses **xy** — the channel along the lowest dimension.  Alternatives
+are provided for the ablation benchmarks ([19] studies these policies in
+depth).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Sequence
+
+from ..topology.base import Direction
+from .packet import Packet
+
+OutputSelector = Callable[[Sequence[Direction], Packet, random.Random], Direction]
+InputSelector = Callable[[Sequence[Packet], random.Random], Packet]
+
+
+def xy_output_selection(
+    options: Sequence[Direction], packet: Packet, rng: random.Random
+) -> Direction:
+    """Prefer the available channel along the lowest dimension (paper)."""
+    return min(options, key=lambda d: (d.dim, d.sign))
+
+
+def random_output_selection(
+    options: Sequence[Direction], packet: Packet, rng: random.Random
+) -> Direction:
+    """Pick uniformly among the available channels."""
+    return options[rng.randrange(len(options))]
+
+
+def zigzag_output_selection(
+    options: Sequence[Direction], packet: Packet, rng: random.Random
+) -> Direction:
+    """Prefer a different dimension than the previous hop (spreads worms
+    diagonally; an ablation alternative)."""
+    if packet.head_direction is not None:
+        other = [d for d in options if d.dim != packet.head_direction.dim]
+        if other:
+            return min(other, key=lambda d: (d.dim, d.sign))
+    return min(options, key=lambda d: (d.dim, d.sign))
+
+
+def fcfs_input_selection(
+    contenders: Sequence[Packet], rng: random.Random
+) -> Packet:
+    """Local first-come-first-served: earliest header arrival wins (paper).
+
+    Ties (same-cycle arrivals) break deterministically on packet id.
+    """
+    return min(contenders, key=lambda p: (p.header_wait_since, p.pid))
+
+
+def random_input_selection(
+    contenders: Sequence[Packet], rng: random.Random
+) -> Packet:
+    """Pick a contender uniformly at random (can postpone indefinitely)."""
+    return contenders[rng.randrange(len(contenders))]
+
+
+OUTPUT_POLICIES: Dict[str, OutputSelector] = {
+    "xy": xy_output_selection,
+    "random": random_output_selection,
+    "zigzag": zigzag_output_selection,
+}
+
+INPUT_POLICIES: Dict[str, InputSelector] = {
+    "fcfs": fcfs_input_selection,
+    "random": random_input_selection,
+}
+
+
+def get_output_policy(name: str) -> OutputSelector:
+    try:
+        return OUTPUT_POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown output selection policy {name!r}; "
+            f"known: {sorted(OUTPUT_POLICIES)}"
+        ) from None
+
+
+def get_input_policy(name: str) -> InputSelector:
+    try:
+        return INPUT_POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown input selection policy {name!r}; "
+            f"known: {sorted(INPUT_POLICIES)}"
+        ) from None

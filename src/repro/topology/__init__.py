@@ -1,0 +1,39 @@
+"""Network topologies: n-dimensional meshes, k-ary n-cubes, hypercubes."""
+
+from .base import (
+    COMPASS_NAMES,
+    Channel,
+    Direction,
+    EAST,
+    NEGATIVE,
+    NORTH,
+    POSITIVE,
+    SOUTH,
+    Topology,
+    WEST,
+    all_directions,
+    enumerate_node_pairs,
+)
+from .hypercube import Hypercube
+from .mesh import Mesh, Mesh2D, mesh
+from .torus import KAryNCube
+
+__all__ = [
+    "COMPASS_NAMES",
+    "Channel",
+    "Direction",
+    "EAST",
+    "Hypercube",
+    "KAryNCube",
+    "Mesh",
+    "Mesh2D",
+    "NEGATIVE",
+    "NORTH",
+    "POSITIVE",
+    "SOUTH",
+    "Topology",
+    "WEST",
+    "all_directions",
+    "enumerate_node_pairs",
+    "mesh",
+]

@@ -1,0 +1,89 @@
+"""Binary hypercube topology.
+
+A hypercube is simultaneously an n-dimensional mesh with every ``k_i = 2``
+and a 2-ary n-cube (Section 1 of the paper).  Node ids coincide with the
+binary addresses the paper uses in Section 5: bit ``i`` of the id is
+coordinate ``x_i``.  Crossing dimension ``i`` flips bit ``i``; moving
+0 -> 1 is the positive direction and 1 -> 0 the negative direction, which
+is what makes the *p-cube* algorithm the hypercube special case of
+*negative-first*.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .base import Direction, NEGATIVE, POSITIVE, Topology
+
+
+class Hypercube(Topology):
+    """A binary n-cube with ``2**n`` nodes."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError(f"need at least one dimension, got n={n}")
+        super().__init__((2,) * n)
+        self._n = n
+
+    @property
+    def order(self) -> int:
+        """The number of dimensions n (the cube has 2**n nodes)."""
+        return self._n
+
+    def neighbor(self, node: int, direction: Direction) -> Optional[int]:
+        if direction.dim >= self._n:
+            raise ValueError(
+                f"direction {direction!r} out of range for a {self._n}-cube"
+            )
+        bit = (node >> direction.dim) & 1
+        # Each dimension offers one channel per node: flipping the bit.
+        # That flip is the positive direction from a 0 bit and the negative
+        # direction from a 1 bit; the other sign does not exist here.
+        expected_sign = POSITIVE if bit == 0 else NEGATIVE
+        if direction.sign != expected_sign:
+            return None
+        return node ^ (1 << direction.dim)
+
+    def is_wraparound(self, node: int, direction: Direction) -> bool:
+        return False
+
+    # -- binary-address helpers (Section 5 notation) -----------------------
+
+    def bits(self, node: int) -> Tuple[int, ...]:
+        """Bits ``(x_0, x_1, ..., x_{n-1})`` of a node address."""
+        return tuple((node >> i) & 1 for i in range(self._n))
+
+    def node_from_bits(self, bits) -> int:
+        bits = tuple(bits)
+        if len(bits) != self._n:
+            raise ValueError(f"expected {self._n} bits, got {len(bits)}")
+        node = 0
+        for i, b in enumerate(bits):
+            if b not in (0, 1):
+                raise ValueError(f"bit {i} must be 0 or 1, got {b}")
+            node |= b << i
+        return node
+
+    def hamming(self, a: int, b: int) -> int:
+        """Hamming distance |a XOR b| — the minimal hop count."""
+        return bin(a ^ b).count("1")
+
+    def distance(self, src: int, dst: int) -> int:
+        return self.hamming(src, dst)
+
+    def differing_dimensions(self, a: int, b: int) -> List[int]:
+        """Dimensions in which two addresses differ."""
+        diff = a ^ b
+        return [i for i in range(self._n) if (diff >> i) & 1]
+
+    def address_str(self, node: int) -> str:
+        """The paper's address notation: bit n-1 first, bit 0 last."""
+        return format(node, f"0{self._n}b")
+
+    def node_from_address_str(self, address: str) -> int:
+        """Parse the paper's address notation (e.g. ``"1011010100"``)."""
+        if len(address) != self._n or set(address) - {"0", "1"}:
+            raise ValueError(
+                f"expected a {self._n}-character binary string, got {address!r}"
+            )
+        return int(address, 2)

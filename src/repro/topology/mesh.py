@@ -1,0 +1,71 @@
+"""n-dimensional mesh topology.
+
+An n-dimensional mesh has ``k0 x k1 x ... x k_{n-1}`` nodes.  Two nodes
+are neighbours when their coordinates agree in every dimension except one,
+where they differ by exactly 1 (no wraparound).  This is the topology of
+the Intel Touchstone DELTA / Paragon (2D) and the MIT J-machine (3D) that
+the paper cites, and the substrate of Sections 2-4.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .base import Direction, Topology
+
+
+class Mesh(Topology):
+    """An n-dimensional mesh without wraparound channels."""
+
+    def neighbor(self, node: int, direction: Direction) -> Optional[int]:
+        if direction.dim >= self.n_dims:
+            raise ValueError(
+                f"direction {direction!r} out of range for {self.n_dims}D mesh"
+            )
+        coord = self.coords(node)[direction.dim]
+        k = self.dims[direction.dim]
+        new = coord + direction.sign
+        if not 0 <= new < k:
+            return None
+        return node + direction.sign * self._strides[direction.dim]
+
+    def is_wraparound(self, node: int, direction: Direction) -> bool:
+        return False
+
+
+class Mesh2D(Mesh):
+    """A 2D mesh with the paper's ``m x n`` naming (m columns, n rows).
+
+    Dimension 0 is *x* (west/east), dimension 1 is *y* (south/north); node
+    ``(x, y)`` has id ``x + y * m``.
+    """
+
+    def __init__(self, m: int, n: Optional[int] = None) -> None:
+        if n is None:
+            n = m
+        super().__init__((m, n))
+
+    @property
+    def m(self) -> int:
+        """Width: number of columns (the x dimension length)."""
+        return self.dims[0]
+
+    @property
+    def n(self) -> int:
+        """Height: number of rows (the y dimension length)."""
+        return self.dims[1]
+
+    def xy(self, node: int) -> tuple:
+        """(x, y) coordinates of a node."""
+        return self.coords(node)
+
+    def node_xy(self, x: int, y: int) -> int:
+        return self.node_at((x, y))
+
+
+def mesh(dims: Sequence[int]) -> Mesh:
+    """Build a mesh; returns the 2D-specialised class when ``len(dims) == 2``."""
+    dims = tuple(dims)
+    if len(dims) == 2:
+        return Mesh2D(dims[0], dims[1])
+    return Mesh(dims)

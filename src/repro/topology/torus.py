@@ -1,0 +1,80 @@
+"""k-ary n-cube (torus) topology.
+
+A k-ary n-cube is an n-dimensional mesh in which every ``k_i = k`` and
+neighbour arithmetic is modular, which adds wraparound channels and makes
+the network symmetric (Section 1 of the paper).  The turn model's Step 1
+places wraparound channels in their own set; Section 4.2 extends the mesh
+routing algorithms to use them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .base import Channel, Direction, Topology
+
+
+class KAryNCube(Topology):
+    """A k-ary n-cube: n dimensions of radix k with wraparound channels."""
+
+    def __init__(self, k: int, n: int) -> None:
+        if n < 1:
+            raise ValueError(f"need at least one dimension, got n={n}")
+        if k < 2:
+            raise ValueError(f"radix must be at least 2, got k={k}")
+        super().__init__((k,) * n)
+        self._k = k
+
+    @property
+    def k(self) -> int:
+        """The radix (every dimension has length k)."""
+        return self._k
+
+    def neighbor(self, node: int, direction: Direction) -> Optional[int]:
+        if direction.dim >= self.n_dims:
+            raise ValueError(
+                f"direction {direction!r} out of range for {self.n_dims} dims"
+            )
+        # Radix 2 has a single neighbour per dimension; the -1 and +1 moves
+        # coincide, and we expose that one channel only as the move away
+        # from the current coordinate (0 -> 1 is positive, 1 -> 0 negative),
+        # matching the hypercube's n-neighbour degree from the paper.
+        coord = self.coords(node)[direction.dim]
+        k = self._k
+        if k == 2:
+            new = 1 - coord
+            expected_sign = +1 if coord == 0 else -1
+            if direction.sign != expected_sign:
+                return None
+        else:
+            new = (coord + direction.sign) % k
+        return node + (new - coord) * self._strides[direction.dim]
+
+    def is_wraparound(self, node: int, direction: Direction) -> bool:
+        if self._k == 2:
+            return False
+        return super().is_wraparound(node, direction)
+
+    def offset(self, src: int, dst: int, dim: int) -> int:
+        """Shortest signed offset along ``dim``, using wraparound when shorter.
+
+        Ties (``|delta| == k/2`` for even k) resolve to the positive
+        direction, so minimal routing is well defined.
+        """
+        k = self._k
+        if k == 2:
+            # Radix 2 has no distinct wraparound; the plain difference is
+            # the direction of the single channel (see ``neighbor``).
+            return self.coords(dst)[dim] - self.coords(src)[dim]
+        delta = (self.coords(dst)[dim] - self.coords(src)[dim]) % k
+        if 2 * delta > k:
+            delta -= k
+        return delta
+
+    def mesh_channels(self) -> List[Channel]:
+        """The channels that do not wrap around the radix."""
+        return [c for c in self.channels() if not c.wraparound]
+
+    def wraparound_channels(self) -> List[Channel]:
+        """The channels that cross the edge of the radix (Step 1's extra set)."""
+        return [c for c in self.channels() if c.wraparound]

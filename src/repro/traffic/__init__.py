@@ -1,0 +1,27 @@
+"""Traffic workloads: the paper's patterns and extras."""
+
+from .patterns import (
+    BitComplementPattern,
+    HotspotPattern,
+    HypercubeTransposePattern,
+    MeshComplementPattern,
+    MeshTransposePattern,
+    PermutationPattern,
+    ReverseFlipPattern,
+    TrafficPattern,
+    UniformPattern,
+    uniform_average_hops,
+)
+
+__all__ = [
+    "BitComplementPattern",
+    "HotspotPattern",
+    "HypercubeTransposePattern",
+    "MeshComplementPattern",
+    "MeshTransposePattern",
+    "PermutationPattern",
+    "ReverseFlipPattern",
+    "TrafficPattern",
+    "UniformPattern",
+    "uniform_average_hops",
+]

@@ -1,0 +1,52 @@
+"""Deadlock-freedom and connectivity verification (Dally-Seitz CDG)."""
+
+from .certificates import (
+    NumberingCertificate,
+    generate_certificate,
+    topological_numbering,
+    validate_certificate,
+)
+from .cdg import (
+    DeadlockVerdict,
+    algorithm_cdg,
+    turn_set_cdg,
+    turn_set_is_deadlock_free,
+    vc_algorithm_cdg,
+    verify_algorithm,
+    verify_escape_discipline,
+    verify_turn_set,
+    verify_vc_algorithm,
+)
+from .faults import (
+    FaultToleranceReport,
+    fault_tolerance,
+    mean_survival,
+    pair_survives,
+    random_fault_trials,
+)
+from .graph import DiGraph
+from .reachability import ConnectivityReport, check_connectivity
+
+__all__ = [
+    "ConnectivityReport",
+    "DeadlockVerdict",
+    "DiGraph",
+    "FaultToleranceReport",
+    "NumberingCertificate",
+    "algorithm_cdg",
+    "check_connectivity",
+    "fault_tolerance",
+    "generate_certificate",
+    "mean_survival",
+    "pair_survives",
+    "random_fault_trials",
+    "topological_numbering",
+    "turn_set_cdg",
+    "turn_set_is_deadlock_free",
+    "validate_certificate",
+    "vc_algorithm_cdg",
+    "verify_algorithm",
+    "verify_escape_discipline",
+    "verify_turn_set",
+    "verify_vc_algorithm",
+]

@@ -1,0 +1,249 @@
+"""Channel dependency graphs — the Dally–Seitz deadlock-freedom check.
+
+A wormhole routing algorithm is deadlock free if its *channel dependency
+graph* (CDG) is acyclic: nodes are the network's channels, and an edge
+``c1 -> c2`` records that some packet can hold ``c1`` while waiting for
+``c2``.  (Acyclicity is sufficient for adaptive routing; for the
+relations built here — which include every choice the algorithm could
+make — a cycle also pinpoints a genuinely reachable circular wait.)
+
+Two relations are supported:
+
+* :func:`algorithm_cdg` — the dependencies of a concrete routing
+  *function* (destination-dependent), used to verify every algorithm in
+  the paper on real topologies;
+* :func:`turn_set_cdg` — the dependencies allowed by a bare prohibition
+  set (any packet may take any allowed turn, regardless of destination),
+  used for Section 3's claim that exactly 12 of the 16 two-turn
+  prohibitions prevent deadlock, and for the Figure 4 counterexamples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.turn_model import TurnModel
+from ..topology.base import Channel, Topology
+from .graph import DiGraph
+
+
+@dataclass
+class DeadlockVerdict:
+    """Result of a CDG check, with a witness cycle when one exists."""
+
+    deadlock_free: bool
+    cycle: Optional[List[Channel]]
+    num_channels: int
+    num_dependencies: int
+
+    def __bool__(self) -> bool:
+        return self.deadlock_free
+
+
+def algorithm_cdg(algorithm) -> DiGraph:
+    """CDG of a routing function over every destination.
+
+    For each destination ``t`` and each channel ``c1 = (u -> v)`` the
+    algorithm could output at ``u`` for ``t``, add ``c1 -> c2`` for every
+    channel ``c2`` the algorithm may request next at ``v``.  Escape
+    (nonminimal) candidates are included, so nonminimal variants are
+    verified against their full behaviour.
+    """
+    topology: Topology = algorithm.topology
+    graph: DiGraph = DiGraph()
+    for channel in topology.channels():
+        graph.add_node(channel)
+
+    def outputs(node: int, dest: int, in_direction) -> List[Channel]:
+        dirs = list(algorithm.candidates(node, dest, in_direction))
+        dirs += list(algorithm.escape_candidates(node, dest, in_direction))
+        found = []
+        for direction in dirs:
+            ch = topology.channel(node, direction)
+            if ch is not None:
+                found.append(ch)
+        return found
+
+    for dest in topology.nodes():
+        # usable[c] - could any packet headed for `dest` occupy channel c?
+        # Seed with every injection-reachable first hop, then close under
+        # the routing relation, adding dependency edges as we go.
+        frontier: List[Channel] = []
+        seen = set()
+        for src in topology.nodes():
+            if src == dest:
+                continue
+            for ch in outputs(src, dest, None):
+                if ch not in seen:
+                    seen.add(ch)
+                    frontier.append(ch)
+        while frontier:
+            c1 = frontier.pop()
+            if c1.dst == dest:
+                continue
+            for c2 in outputs(c1.dst, dest, c1.direction):
+                graph.add_edge(c1, c2)
+                if c2 not in seen:
+                    seen.add(c2)
+                    frontier.append(c2)
+    return graph
+
+
+def vc_algorithm_cdg(algorithm, num_vc: int) -> DiGraph:
+    """CDG over *virtual* channels — nodes are ``(channel, vc)`` pairs.
+
+    Verifies VC-disciplined algorithms (dateline torus routing,
+    escape-VC adaptive routing) the same way :func:`algorithm_cdg`
+    verifies plain ones: seed every injection-reachable first hop, close
+    under the ``vc_candidates`` relation, and check acyclicity.
+    """
+    topology: Topology = algorithm.topology
+    graph: DiGraph = DiGraph()
+
+    def outputs(node: int, dest: int, in_direction, in_vc) -> List[tuple]:
+        pairs = algorithm.vc_candidates(node, dest, in_direction, in_vc, num_vc)
+        found = []
+        for direction, vc in pairs:
+            ch = topology.channel(node, direction)
+            if ch is not None and 0 <= vc < num_vc:
+                found.append((ch, vc))
+        return found
+
+    for dest in topology.nodes():
+        frontier: List[tuple] = []
+        seen = set()
+        for src in topology.nodes():
+            if src == dest:
+                continue
+            for state in outputs(src, dest, None, None):
+                if state not in seen:
+                    seen.add(state)
+                    frontier.append(state)
+        while frontier:
+            c1, vc1 = frontier.pop()
+            if c1.dst == dest:
+                continue
+            for c2, vc2 in outputs(c1.dst, dest, c1.direction, vc1):
+                graph.add_edge((c1, vc1), (c2, vc2))
+                if (c2, vc2) not in seen:
+                    seen.add((c2, vc2))
+                    frontier.append((c2, vc2))
+    return graph
+
+
+def verify_vc_algorithm(algorithm, num_vc: int) -> DeadlockVerdict:
+    """Deadlock-freedom verdict for a VC-disciplined routing algorithm."""
+    graph = vc_algorithm_cdg(algorithm, num_vc)
+    cycle = graph.find_cycle()
+    return DeadlockVerdict(
+        deadlock_free=cycle is None,
+        cycle=cycle,
+        num_channels=graph.num_nodes(),
+        num_dependencies=graph.num_edges(),
+    )
+
+
+def verify_escape_discipline(
+    algorithm, num_vc: int, escape_vc: int = 0
+) -> DeadlockVerdict:
+    """Duato-style deadlock-freedom check for escape-channel routing.
+
+    CDG acyclicity is *sufficient* for deadlock freedom, not necessary:
+    a fully adaptive algorithm whose adaptive virtual channels form
+    cycles is still deadlock free when (1) its *escape* subnetwork's
+    dependencies are acyclic and packets on it stay on it, and (2) every
+    reachable waiting state offers at least one escape candidate.  This
+    function checks both conditions over all destinations.
+    """
+    topology: Topology = algorithm.topology
+    escape_graph: DiGraph = DiGraph()
+    always_escapable = True
+
+    def outputs(node, dest, in_direction, in_vc):
+        return algorithm.vc_candidates(node, dest, in_direction, in_vc, num_vc)
+
+    for dest in topology.nodes():
+        frontier = []
+        seen = set()
+        for src in topology.nodes():
+            if src == dest:
+                continue
+            pairs = outputs(src, dest, None, None)
+            if not any(vc == escape_vc for _, vc in pairs):
+                always_escapable = False
+            for direction, vc in pairs:
+                ch = topology.channel(src, direction)
+                if ch is not None and (ch, vc) not in seen:
+                    seen.add((ch, vc))
+                    frontier.append((ch, vc))
+        while frontier:
+            c1, vc1 = frontier.pop()
+            if c1.dst == dest:
+                continue
+            pairs = outputs(c1.dst, dest, c1.direction, vc1)
+            if not any(vc == escape_vc for _, vc in pairs):
+                always_escapable = False
+            for direction, vc2 in pairs:
+                c2 = topology.channel(c1.dst, direction)
+                if c2 is None:
+                    continue
+                if vc1 == escape_vc and vc2 == escape_vc:
+                    escape_graph.add_edge((c1, vc1), (c2, vc2))
+                if (c2, vc2) not in seen:
+                    seen.add((c2, vc2))
+                    frontier.append((c2, vc2))
+
+    cycle = escape_graph.find_cycle()
+    return DeadlockVerdict(
+        deadlock_free=always_escapable and cycle is None,
+        cycle=cycle,
+        num_channels=escape_graph.num_nodes(),
+        num_dependencies=escape_graph.num_edges(),
+    )
+
+
+def turn_set_cdg(topology: Topology, model: TurnModel) -> DiGraph:
+    """CDG of everything a prohibition set permits (destination-blind).
+
+    ``c1 -> c2`` whenever the turn from ``c1``'s direction to ``c2``'s is
+    allowed (straight moves always; reversals only if listed in
+    ``allow_180``).  Acyclicity of this graph certifies that *every*
+    routing algorithm confined to the allowed turns — minimal or not — is
+    deadlock free.
+    """
+    graph: DiGraph = DiGraph()
+    for channel in topology.channels():
+        graph.add_node(channel)
+    for c1 in topology.channels():
+        for direction in topology.directions():
+            if not model.is_allowed(c1.direction, direction):
+                continue
+            c2 = topology.channel(c1.dst, direction)
+            if c2 is not None:
+                graph.add_edge(c1, c2)
+    return graph
+
+
+def _verdict(graph: DiGraph) -> DeadlockVerdict:
+    cycle = graph.find_cycle()
+    return DeadlockVerdict(
+        deadlock_free=cycle is None,
+        cycle=cycle,
+        num_channels=graph.num_nodes(),
+        num_dependencies=graph.num_edges(),
+    )
+
+
+def verify_algorithm(algorithm) -> DeadlockVerdict:
+    """Deadlock-freedom verdict for a concrete routing algorithm."""
+    return _verdict(algorithm_cdg(algorithm))
+
+
+def verify_turn_set(topology: Topology, model: TurnModel) -> DeadlockVerdict:
+    """Deadlock-freedom verdict for a bare prohibition set on a topology."""
+    return _verdict(turn_set_cdg(topology, model))
+
+
+def turn_set_is_deadlock_free(topology: Topology, model: TurnModel) -> bool:
+    return verify_turn_set(topology, model).deadlock_free

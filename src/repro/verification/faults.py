@@ -1,0 +1,134 @@
+"""Fault tolerance of routing algorithms (static reachability analysis).
+
+The paper motivates adaptiveness by fault tolerance: "alternative paths
+for packets that encounter ... faulty hardware".  This module quantifies
+that claim.  Given a set of faulty channels, a source-destination pair
+*survives* when the algorithm's routing relation still contains some
+path from source to destination that avoids every faulty channel — a
+breadth-first search over ``(node, heading)`` states following the
+algorithm's candidates.
+
+Deterministic xy routing offers exactly one path per pair, so any fault
+on it kills the pair; the partially adaptive algorithms keep many pairs
+alive.  (This is reachability only: a blocked-forever channel also needs
+the *router* to try the alternatives, which the simulator's adaptive
+arbitration does.)
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..routing.base import RoutingAlgorithm
+from ..topology.base import Channel, Direction, Topology
+
+
+@dataclass
+class FaultToleranceReport:
+    """Outcome of one fault scenario."""
+
+    algorithm: str
+    num_faults: int
+    total_pairs: int
+    surviving_pairs: int
+
+    @property
+    def survival_fraction(self) -> float:
+        if self.total_pairs == 0:
+            return 1.0
+        return self.surviving_pairs / self.total_pairs
+
+
+def pair_survives(
+    algorithm: RoutingAlgorithm,
+    src: int,
+    dst: int,
+    faulty: Set[Channel],
+) -> bool:
+    """Whether some legal route from src to dst avoids all faults."""
+    topology: Topology = algorithm.topology
+    start: Tuple[int, Optional[Direction]] = (src, None)
+    seen = {start}
+    frontier = deque([start])
+    while frontier:
+        node, heading = frontier.popleft()
+        if node == dst:
+            return True
+        for direction in algorithm.candidates(node, dst, heading):
+            channel = topology.channel(node, direction)
+            if channel is None or channel in faulty:
+                continue
+            state = (channel.dst, direction)
+            if state not in seen:
+                seen.add(state)
+                frontier.append(state)
+    return False
+
+
+def fault_tolerance(
+    algorithm: RoutingAlgorithm,
+    faulty: Iterable[Channel],
+    pairs: Optional[Sequence[Tuple[int, int]]] = None,
+) -> FaultToleranceReport:
+    """Survival report over all (or the given) source-destination pairs."""
+    topology = algorithm.topology
+    faulty = set(faulty)
+    if pairs is None:
+        pairs = [
+            (s, d)
+            for s in topology.nodes()
+            for d in topology.nodes()
+            if s != d
+        ]
+    surviving = sum(
+        1 for s, d in pairs if pair_survives(algorithm, s, d, faulty)
+    )
+    return FaultToleranceReport(
+        algorithm=algorithm.name,
+        num_faults=len(faulty),
+        total_pairs=len(pairs),
+        surviving_pairs=surviving,
+    )
+
+
+def random_fault_trials(
+    algorithm: RoutingAlgorithm,
+    num_faults: int,
+    trials: int = 5,
+    rng: Optional[random.Random] = None,
+    sample_pairs: Optional[int] = None,
+) -> List[FaultToleranceReport]:
+    """Repeat ``fault_tolerance`` for random fault sets.
+
+    ``sample_pairs`` caps the pairs examined per trial (uniformly
+    sampled) to keep large topologies affordable.
+    """
+    rng = rng or random.Random(0)
+    topology = algorithm.topology
+    channels = list(topology.channels())
+    if num_faults > len(channels):
+        raise ValueError(
+            f"cannot fail {num_faults} of {len(channels)} channels"
+        )
+    reports = []
+    for _ in range(trials):
+        faulty = set(rng.sample(channels, num_faults))
+        pairs = None
+        if sample_pairs is not None:
+            pairs = []
+            n = topology.num_nodes
+            while len(pairs) < sample_pairs:
+                s, d = rng.randrange(n), rng.randrange(n)
+                if s != d:
+                    pairs.append((s, d))
+        reports.append(fault_tolerance(algorithm, faulty, pairs))
+    return reports
+
+
+def mean_survival(reports: Sequence[FaultToleranceReport]) -> float:
+    if not reports:
+        return 1.0
+    return sum(r.survival_fraction for r in reports) / len(reports)

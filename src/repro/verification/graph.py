@@ -1,0 +1,144 @@
+"""A minimal directed-graph toolkit for the deadlock verifier.
+
+Only what the channel-dependency-graph analysis needs: adjacency storage,
+cycle detection with a concrete cycle witness, and Tarjan's strongly
+connected components (used to report *all* cyclic channel groups, not just
+the first cycle found).  Self-contained so the core library carries no
+third-party dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterable, List, Optional, Set, Tuple, TypeVar
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+class DiGraph(Generic[Node]):
+    """A simple directed graph over hashable nodes."""
+
+    def __init__(self) -> None:
+        self._succ: Dict[Node, Set[Node]] = {}
+
+    def add_node(self, node: Node) -> None:
+        self._succ.setdefault(node, set())
+
+    def add_edge(self, src: Node, dst: Node) -> None:
+        self.add_node(src)
+        self.add_node(dst)
+        self._succ[src].add(dst)
+
+    def nodes(self) -> List[Node]:
+        return list(self._succ)
+
+    def successors(self, node: Node) -> Set[Node]:
+        return self._succ.get(node, set())
+
+    def num_nodes(self) -> int:
+        return len(self._succ)
+
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self._succ.values())
+
+    def has_edge(self, src: Node, dst: Node) -> bool:
+        return dst in self._succ.get(src, ())
+
+    # -- cycle analysis -----------------------------------------------------
+
+    def find_cycle(self) -> Optional[List[Node]]:
+        """Return one directed cycle as a node list, or None if acyclic.
+
+        Iterative three-colour DFS; the returned list ``[v0, v1, ..., vk]``
+        satisfies ``vk -> v0`` and ``vi -> vi+1`` for each i.
+        """
+        WHITE, GRAY, BLACK = 0, 1, 2
+        colour: Dict[Node, int] = {n: WHITE for n in self._succ}
+        parent: Dict[Node, Optional[Node]] = {}
+        for root in self._succ:
+            if colour[root] != WHITE:
+                continue
+            stack: List[Tuple[Node, Iterable[Node]]] = [(root, iter(self._succ[root]))]
+            colour[root] = GRAY
+            parent[root] = None
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if colour[nxt] == WHITE:
+                        colour[nxt] = GRAY
+                        parent[nxt] = node
+                        stack.append((nxt, iter(self._succ[nxt])))
+                        advanced = True
+                        break
+                    if colour[nxt] == GRAY:
+                        # Back edge node -> nxt closes a cycle.
+                        cycle = [node]
+                        walk = node
+                        while walk != nxt:
+                            walk = parent[walk]
+                            cycle.append(walk)
+                        cycle.reverse()
+                        return cycle
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+        return None
+
+    def is_acyclic(self) -> bool:
+        return self.find_cycle() is None
+
+    def strongly_connected_components(self) -> List[List[Node]]:
+        """Tarjan's algorithm (iterative); returns every SCC."""
+        index: Dict[Node, int] = {}
+        lowlink: Dict[Node, int] = {}
+        on_stack: Set[Node] = set()
+        stack: List[Node] = []
+        components: List[List[Node]] = []
+        counter = [0]
+
+        for root in self._succ:
+            if root in index:
+                continue
+            work: List[Tuple[Node, Iterable[Node]]] = [(root, iter(self._succ[root]))]
+            index[root] = lowlink[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt not in index:
+                        index[nxt] = lowlink[nxt] = counter[0]
+                        counter[0] += 1
+                        stack.append(nxt)
+                        on_stack.add(nxt)
+                        work.append((nxt, iter(self._succ[nxt])))
+                        advanced = True
+                        break
+                    if nxt in on_stack:
+                        lowlink[node] = min(lowlink[node], index[nxt])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent_node = work[-1][0]
+                    lowlink[parent_node] = min(lowlink[parent_node], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(component)
+        return components
+
+    def cyclic_components(self) -> List[List[Node]]:
+        """SCCs that contain a cycle (size > 1, or a self-loop)."""
+        out = []
+        for comp in self.strongly_connected_components():
+            if len(comp) > 1 or self.has_edge(comp[0], comp[0]):
+                out.append(comp)
+        return out

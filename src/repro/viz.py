@@ -1,0 +1,162 @@
+"""ASCII rendering of meshes, paths, and turn sets.
+
+Reproduces the *qualitative* figures of the paper as terminal art:
+Figures 3/5a/9a/10a (which turns a prohibition set allows) and Figures
+5b/9b/10b (example paths through an 8x8 mesh).  Used by the examples and
+handy when debugging a routing algorithm interactively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .core.turn_model import TurnModel
+from .topology.base import COMPASS_NAMES, Direction, EAST, NORTH, SOUTH, WEST
+from .topology.mesh import Mesh2D
+
+_ARROWS = {WEST: "<", EAST: ">", SOUTH: "v", NORTH: "^"}
+
+
+def render_mesh_paths(
+    mesh: Mesh2D,
+    paths: Sequence[Sequence[int]],
+    labels: Optional[Sequence[str]] = None,
+) -> str:
+    """Draw node paths on a 2D mesh, Figure 5b style.
+
+    Nodes are ``+`` (``S``/``D`` for each path's endpoints); each path's
+    hops are drawn with direction arrows on the edges between nodes.
+    Row 0 (south) is printed at the bottom, matching the paper's compass.
+    """
+    m, n = mesh.m, mesh.n
+    width, height = 2 * m - 1, 2 * n - 1
+    grid = [[" "] * width for _ in range(height)]
+    for y in range(n):
+        for x in range(m):
+            grid[2 * y][2 * x] = "+"
+
+    endpoints: Dict[int, str] = {}
+    for index, path in enumerate(paths):
+        if not path:
+            continue
+        endpoints.setdefault(path[0], "S")
+        endpoints.setdefault(path[-1], "D")
+        for here, there in zip(path, path[1:]):
+            x1, y1 = mesh.coords(here)
+            x2, y2 = mesh.coords(there)
+            ex, ey = x1 + x2, y1 + y2  # midpoint in grid coordinates
+            if y1 == y2:
+                arrow = ">" if x2 > x1 else "<"
+            else:
+                arrow = "^" if y2 > y1 else "v"
+            cell = grid[ey][ex]
+            grid[ey][ex] = arrow if cell == " " else "*"  # * = shared edge
+
+    for node, mark in endpoints.items():
+        x, y = mesh.coords(node)
+        grid[2 * y][2 * x] = mark
+
+    lines = []
+    if labels:
+        for index, label in enumerate(labels):
+            lines.append(f"path {index + 1}: {label}")
+    # Print north (large y) first so the page matches the compass.
+    for row in reversed(grid):
+        lines.append("".join(row).rstrip())
+    return "\n".join(lines)
+
+
+def render_turn_set(model: TurnModel) -> str:
+    """List the eight 2D turns with their verdicts, Figure 5a style."""
+    if model.n_dims != 2:
+        raise ValueError("turn-set rendering supports 2D models only")
+    lines = [f"turn model: {model.name}"]
+    for frm in (WEST, EAST, SOUTH, NORTH):
+        allowed = [
+            COMPASS_NAMES[to]
+            for to in (WEST, EAST, SOUTH, NORTH)
+            if to.dim != frm.dim and model.is_allowed(frm, to)
+        ]
+        prohibited = [
+            COMPASS_NAMES[to]
+            for to in (WEST, EAST, SOUTH, NORTH)
+            if to.dim != frm.dim and not model.is_allowed(frm, to)
+        ]
+        line = f"  travelling {COMPASS_NAMES[frm]:5s}: may turn "
+        line += ", ".join(allowed) if allowed else "(nowhere)"
+        if prohibited:
+            line += f"   [prohibited: {', '.join(prohibited)}]"
+        lines.append(line)
+    lines.append(
+        f"  prohibits {len(model.prohibited)}/8 turns; "
+        f"breaks all abstract cycles: {model.breaks_all_cycles()}"
+    )
+    return "\n".join(lines)
+
+
+def render_channel_utilization(
+    mesh: Mesh2D,
+    channels: Sequence,
+    channel_flits: Sequence[int],
+    measure_cycles: int,
+    direction: Direction,
+) -> str:
+    """Per-channel utilization (percent of cycles busy) as a grid.
+
+    The value printed at ``(x, y)`` is the utilization of the channel
+    *leaving* that node in ``direction`` during the measurement window.
+    Pairs with ``SimulationResult.channel_flits`` to visualise where a
+    workload concentrates — e.g. the diagonal funnel of xy routing under
+    matrix transpose.
+    """
+    if measure_cycles <= 0:
+        raise ValueError("measure_cycles must be positive")
+    values: Dict[tuple, str] = {}
+    for channel, flits in zip(channels, channel_flits):
+        if channel.direction == direction:
+            percent = 100.0 * flits / measure_cycles
+            values[mesh.coords(channel.src)] = f"{percent:.0f}"
+    lines = [
+        f"channel utilization %, direction "
+        f"{COMPASS_NAMES.get(direction, direction)}:"
+    ]
+    width = max((len(v) for v in values.values()), default=1) + 1
+    for y in range(mesh.n - 1, -1, -1):
+        row = []
+        for x in range(mesh.m):
+            row.append(values.get((x, y), ".").rjust(width))
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def hottest_channels(
+    channels: Sequence, channel_flits: Sequence[int], top: int = 5
+) -> List[tuple]:
+    """The ``top`` busiest channels as (channel, flits), descending."""
+    ranked = sorted(
+        zip(channels, channel_flits), key=lambda cf: cf[1], reverse=True
+    )
+    return ranked[:top]
+
+
+def render_channel_numbering(
+    mesh: Mesh2D, numbering, direction: Direction
+) -> str:
+    """Print one direction's channel numbers as a grid (Figure 7 style).
+
+    The number shown at ``(x, y)`` is the number of the channel leaving
+    that node in ``direction`` (blank at edges without one).
+    """
+    values: Dict[tuple, int] = {}
+    for channel, number in numbering.items():
+        if channel.direction == direction:
+            values[mesh.coords(channel.src)] = number
+    width = max((len(str(v)) for v in values.values()), default=1) + 1
+    lines = [f"channel numbers, direction {COMPASS_NAMES.get(direction, direction)}:"]
+    for y in range(mesh.n - 1, -1, -1):
+        row = []
+        for x in range(mesh.m):
+            value = values.get((x, y))
+            row.append(("" if value is None else str(value)).rjust(width))
+        lines.append("".join(row))
+    return "\n".join(lines)

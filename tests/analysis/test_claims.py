@@ -1,0 +1,30 @@
+"""Unit tests for the Section 6 claims helpers."""
+
+import pytest
+
+from repro.analysis import uniform_nonadaptive_wins
+from repro.analysis.sweep import SweepSeries
+
+
+def fake_series(name, best):
+    series = SweepSeries(name, "uniform", [])
+    series.max_sustainable_throughput = lambda: best
+    return series
+
+
+class TestUniformNonadaptiveWins:
+    def test_true_when_baseline_leads(self):
+        series = [fake_series("xy", 100.0), fake_series("west-first", 90.0)]
+        assert uniform_nonadaptive_wins(series)
+
+    def test_tolerates_five_percent(self):
+        series = [fake_series("e-cube", 100.0), fake_series("p-cube", 104.0)]
+        assert uniform_nonadaptive_wins(series)
+
+    def test_false_when_adaptive_clearly_leads(self):
+        series = [fake_series("xy", 100.0), fake_series("west-first", 120.0)]
+        assert not uniform_nonadaptive_wins(series)
+
+    def test_requires_a_baseline(self):
+        with pytest.raises(ValueError):
+            uniform_nonadaptive_wins([fake_series("west-first", 1.0)])

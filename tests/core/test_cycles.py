@@ -1,0 +1,91 @@
+"""Tests for abstract turn cycles (Section 2, Figure 2, Theorem 1)."""
+
+import pytest
+
+from repro.core import (
+    Turn,
+    abstract_cycles,
+    breaks_all_abstract_cycles,
+    count_abstract_cycles,
+    minimum_prohibited_turns,
+    plane_cycles,
+    two_turn_prohibitions_2d,
+    unbroken_cycles,
+)
+from repro.core.turns import ninety_degree_turns
+from repro.topology import EAST, NORTH, SOUTH, WEST
+
+
+class TestPlaneCycles:
+    def test_two_cycles_per_plane(self):
+        ccw, cw = plane_cycles(0, 1)
+        assert not ccw.clockwise and cw.clockwise
+        assert len(ccw.turns) == 4 and len(cw.turns) == 4
+
+    def test_cycles_are_disjoint_and_cover_the_plane(self):
+        """Figure 2: the eight turns split into two four-turn cycles."""
+        ccw, cw = plane_cycles(0, 1)
+        assert set(ccw.turns) | set(cw.turns) == set(ninety_degree_turns(2))
+        assert set(ccw.turns) & set(cw.turns) == set()
+
+    def test_ccw_cycle_is_all_left_turns(self):
+        ccw, _ = plane_cycles(0, 1)
+        assert Turn(EAST, NORTH) in ccw
+        assert Turn(NORTH, WEST) in ccw
+        assert Turn(WEST, SOUTH) in ccw
+        assert Turn(SOUTH, EAST) in ccw
+
+    def test_cycle_turns_chain(self):
+        """Each turn's outgoing direction is the next turn's incoming."""
+        for cycle in plane_cycles(0, 1):
+            for a, b in zip(cycle.turns, cycle.turns[1:] + cycle.turns[:1]):
+                assert a.to == b.frm
+
+    def test_degenerate_plane_rejected(self):
+        with pytest.raises(ValueError):
+            plane_cycles(2, 2)
+
+
+class TestCycleCounts:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_n_times_n_minus_1_cycles(self, n):
+        """Section 2: n(n-1) abstract cycles in an n-dimensional mesh."""
+        cycles = abstract_cycles(n)
+        assert len(cycles) == n * (n - 1)
+        assert len(cycles) == count_abstract_cycles(n)
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_theorem_1_minimum_is_a_quarter_of_turns(self, n):
+        """Theorem 1: at least n(n-1) turns — a quarter — must go."""
+        assert minimum_prohibited_turns(n) == n * (n - 1)
+        assert minimum_prohibited_turns(n) * 4 == len(ninety_degree_turns(n))
+
+
+class TestBreaking:
+    def test_empty_prohibition_breaks_nothing(self):
+        assert len(unbroken_cycles(2, [])) == 2
+        assert not breaks_all_abstract_cycles(2, [])
+
+    def test_one_turn_per_cycle_suffices_for_the_necessary_condition(self):
+        prohibited = {Turn(NORTH, WEST), Turn(NORTH, EAST)}  # north-last
+        assert breaks_all_abstract_cycles(2, prohibited)
+
+    def test_two_turns_from_same_cycle_leave_other_intact(self):
+        ccw, cw = plane_cycles(0, 1)
+        prohibited = set(ccw.turns[:2])
+        left = unbroken_cycles(2, prohibited)
+        assert len(left) == 1 and left[0].clockwise
+
+    def test_xy_prohibition_breaks_everything(self):
+        from repro.core import TurnModel
+
+        assert TurnModel.xy(3).breaks_all_cycles()
+
+    def test_enumeration_of_two_turn_prohibitions(self):
+        """Section 3: there are 16 ways to prohibit one turn per cycle."""
+        pairs = two_turn_prohibitions_2d()
+        assert len(pairs) == 16
+        assert all(len(p) == 2 for p in pairs)
+        assert all(breaks_all_abstract_cycles(2, p) for p in pairs)
+        # All 16 are distinct.
+        assert len({frozenset(p) for p in pairs}) == 16

@@ -1,0 +1,194 @@
+"""Tests for the executable channel-numbering proofs (Theorems 2, 3, 5).
+
+The theorems claim strict monotonicity of channel numbers along every
+path each algorithm can produce; these tests enumerate every minimal path
+on small meshes and check every hop.
+"""
+
+import pytest
+
+from repro.core import (
+    dimension_order_numbering,
+    is_strictly_monotone,
+    monotonicity_violations,
+    negative_first_numbering,
+    north_last_numbering,
+    west_first_numbering,
+)
+from repro.routing import (
+    NegativeFirst,
+    NorthLast,
+    WestFirst,
+    XY,
+    enumerate_minimal_paths,
+    path_channels,
+)
+from repro.topology import Mesh, Mesh2D
+
+
+def all_minimal_channel_paths(algorithm, limit_per_pair=50):
+    topology = algorithm.topology
+    for src in topology.nodes():
+        for dst in topology.nodes():
+            if src == dst:
+                continue
+            for node_path in enumerate_minimal_paths(
+                algorithm, src, dst, limit=limit_per_pair
+            ):
+                yield path_channels(topology, node_path)
+
+
+class TestWestFirstNumbering:
+    def test_theorem_2_strictly_decreasing_on_4x4(self):
+        mesh = Mesh2D(4, 4)
+        numbering = west_first_numbering(mesh)
+        paths = list(all_minimal_channel_paths(WestFirst(mesh)))
+        assert paths  # sanity: the enumeration produced work
+        assert monotonicity_violations(numbering, paths, decreasing=True) == []
+
+    def test_rectangular_mesh(self):
+        mesh = Mesh2D(5, 3)
+        numbering = west_first_numbering(mesh)
+        violations = monotonicity_violations(
+            numbering,
+            all_minimal_channel_paths(WestFirst(mesh)),
+            decreasing=True,
+        )
+        assert violations == []
+
+    def test_westward_channels_sit_above_all_others(self):
+        """The proof's structure: westward numbers exceed east/north/south."""
+        mesh = Mesh2D(4, 4)
+        numbering = west_first_numbering(mesh)
+        west_values = [
+            v
+            for c, v in numbering.items()
+            if c.direction.dim == 0 and c.direction.is_negative
+        ]
+        other_values = [
+            v
+            for c, v in numbering.items()
+            if not (c.direction.dim == 0 and c.direction.is_negative)
+        ]
+        assert min(west_values) > max(other_values)
+
+    def test_westward_numbers_decrease_going_west(self):
+        mesh = Mesh2D(6, 2)
+        numbering = west_first_numbering(mesh)
+        values = {}
+        for c, v in numbering.items():
+            if c.direction.dim == 0 and c.direction.is_negative:
+                x = mesh.coords(c.src)[0]
+                values[x] = v
+        xs = sorted(values)
+        assert all(values[a] < values[b] for a, b in zip(xs, xs[1:]))
+
+
+class TestNorthLastNumbering:
+    def test_theorem_3_strictly_decreasing_on_4x4(self):
+        mesh = Mesh2D(4, 4)
+        numbering = north_last_numbering(mesh)
+        violations = monotonicity_violations(
+            numbering,
+            all_minimal_channel_paths(NorthLast(mesh)),
+            decreasing=True,
+        )
+        assert violations == []
+
+    def test_rectangular_mesh(self):
+        mesh = Mesh2D(3, 5)
+        numbering = north_last_numbering(mesh)
+        violations = monotonicity_violations(
+            numbering,
+            all_minimal_channel_paths(NorthLast(mesh)),
+            decreasing=True,
+        )
+        assert violations == []
+
+    def test_north_channels_sit_below_all_others(self):
+        mesh = Mesh2D(4, 4)
+        numbering = north_last_numbering(mesh)
+        north_values = [
+            v
+            for c, v in numbering.items()
+            if c.direction.dim == 1 and c.direction.is_positive
+        ]
+        other_values = [
+            v
+            for c, v in numbering.items()
+            if not (c.direction.dim == 1 and c.direction.is_positive)
+        ]
+        assert max(north_values) < min(other_values)
+
+
+class TestNegativeFirstNumbering:
+    def test_theorem_5_strictly_increasing_on_2d(self):
+        mesh = Mesh2D(4, 4)
+        numbering = negative_first_numbering(mesh)
+        violations = monotonicity_violations(
+            numbering,
+            all_minimal_channel_paths(NegativeFirst(mesh)),
+            decreasing=False,
+        )
+        assert violations == []
+
+    def test_theorem_5_on_3d_mesh(self):
+        mesh = Mesh((3, 3, 3))
+        numbering = negative_first_numbering(mesh)
+        violations = monotonicity_violations(
+            numbering,
+            all_minimal_channel_paths(NegativeFirst(mesh), limit_per_pair=20),
+            decreasing=False,
+        )
+        assert violations == []
+
+    def test_exact_formula(self):
+        """Positive channels K-n+X, negative channels K-n-X."""
+        mesh = Mesh((4, 5))
+        big_k, n = 9, 2
+        numbering = negative_first_numbering(mesh)
+        for channel, value in numbering.items():
+            x_sum = sum(mesh.coords(channel.src))
+            if channel.direction.is_positive:
+                assert value == big_k - n + x_sum
+            else:
+                assert value == big_k - n - x_sum
+
+
+class TestDimensionOrderNumbering:
+    def test_xy_strictly_decreasing(self):
+        mesh = Mesh2D(4, 4)
+        numbering = dimension_order_numbering(mesh)
+        violations = monotonicity_violations(
+            numbering,
+            all_minimal_channel_paths(XY(mesh)),
+            decreasing=True,
+        )
+        assert violations == []
+
+    def test_3d_dimension_order(self):
+        from repro.routing import DimensionOrder
+
+        mesh = Mesh((3, 3, 3))
+        numbering = dimension_order_numbering(mesh)
+        violations = monotonicity_violations(
+            numbering,
+            all_minimal_channel_paths(DimensionOrder(mesh)),
+            decreasing=True,
+        )
+        assert violations == []
+
+
+class TestHelpers:
+    def test_is_strictly_monotone(self):
+        mesh = Mesh2D(3, 3)
+        numbering = west_first_numbering(mesh)
+        alg = WestFirst(mesh)
+        path = next(
+            enumerate_minimal_paths(alg, mesh.node_xy(2, 0), mesh.node_xy(0, 2))
+        )
+        channels = path_channels(mesh, path)
+        assert is_strictly_monotone(numbering, channels, decreasing=True)
+        assert not is_strictly_monotone(
+            numbering, list(reversed(channels)), decreasing=True
+        )

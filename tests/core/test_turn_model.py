@@ -1,0 +1,147 @@
+"""Tests for the TurnModel prohibition sets (Sections 2-4)."""
+
+import pytest
+
+from repro.core import PAPER_TURN_MODELS_2D, Turn, TurnModel
+from repro.core.turns import ninety_degree_turns
+from repro.topology import Direction, EAST, NORTH, SOUTH, WEST
+
+
+class TestXYModel:
+    def test_prohibits_exactly_figure_3(self):
+        """xy allows only the four turns out of a dimension-0 heading."""
+        model = TurnModel.xy()
+        assert model.prohibited == frozenset(
+            {
+                Turn(NORTH, WEST), Turn(NORTH, EAST),
+                Turn(SOUTH, WEST), Turn(SOUTH, EAST),
+            }
+        )
+
+    def test_half_of_all_turns_prohibited(self):
+        for n in (2, 3, 4):
+            model = TurnModel.xy(n)
+            assert model.prohibited_fraction() == pytest.approx(0.5)
+
+    def test_not_minimal_prohibition(self):
+        assert not TurnModel.xy().is_minimal_prohibition()
+
+    def test_breaks_all_cycles(self):
+        assert TurnModel.xy(4).breaks_all_cycles()
+
+
+class TestWestFirstModel:
+    def test_prohibits_the_two_turns_into_west(self):
+        """Figure 5a."""
+        model = TurnModel.west_first()
+        assert model.prohibited == frozenset(
+            {Turn(NORTH, WEST), Turn(SOUTH, WEST)}
+        )
+
+    def test_is_minimal_and_breaks_cycles(self):
+        for n in (2, 3, 4, 5):
+            model = TurnModel.west_first(n)
+            assert model.is_minimal_prohibition()
+            assert model.breaks_all_cycles()
+            assert model.prohibited_fraction() == pytest.approx(0.25)
+
+
+class TestNorthLastModel:
+    def test_prohibits_the_two_turns_out_of_north(self):
+        """Figure 9a."""
+        model = TurnModel.north_last()
+        assert model.prohibited == frozenset(
+            {Turn(NORTH, WEST), Turn(NORTH, EAST)}
+        )
+
+    def test_is_minimal_and_breaks_cycles(self):
+        for n in (2, 3, 4, 5):
+            model = TurnModel.north_last(n)
+            assert model.is_minimal_prohibition()
+            assert model.breaks_all_cycles()
+
+
+class TestNegativeFirstModel:
+    def test_prohibits_positive_to_negative(self):
+        """Figure 10a."""
+        model = TurnModel.negative_first()
+        assert model.prohibited == frozenset(
+            {Turn(EAST, SOUTH), Turn(NORTH, WEST)}
+        )
+
+    def test_is_minimal_and_breaks_cycles(self):
+        for n in (2, 3, 4, 5):
+            model = TurnModel.negative_first(n)
+            assert model.is_minimal_prohibition()
+            assert model.breaks_all_cycles()
+
+
+class TestIsAllowed:
+    def test_straight_always_allowed(self):
+        for model in PAPER_TURN_MODELS_2D:
+            for d in (EAST, WEST, NORTH, SOUTH):
+                assert model.is_allowed(d, d)
+
+    def test_reversals_prohibited_by_default(self):
+        for model in PAPER_TURN_MODELS_2D:
+            for d in (EAST, WEST, NORTH, SOUTH):
+                assert not model.is_allowed(d, d.opposite)
+
+    def test_allow_180_opt_in(self):
+        model = TurnModel.from_prohibited(
+            "wf+reverse",
+            2,
+            TurnModel.west_first().prohibited,
+            allow_180=[Turn(WEST, EAST)],
+        )
+        assert model.is_allowed(WEST, EAST)
+        assert not model.is_allowed(EAST, WEST)
+
+    def test_west_first_allows_six_turns(self):
+        model = TurnModel.west_first()
+        assert len(model.allowed_turns()) == 6
+
+    def test_allowed_next_directions_from_injection(self):
+        model = TurnModel.west_first()
+        assert set(model.allowed_next_directions(None)) == {
+            EAST, WEST, NORTH, SOUTH,
+        }
+
+    def test_allowed_next_directions_from_heading(self):
+        model = TurnModel.west_first()
+        assert set(model.allowed_next_directions(NORTH)) == {NORTH, EAST}
+        assert set(model.allowed_next_directions(WEST)) == {
+            WEST, NORTH, SOUTH,
+        }
+
+
+class TestValidation:
+    def test_prohibited_must_be_ninety_degree(self):
+        with pytest.raises(ValueError):
+            TurnModel.from_prohibited("bad", 2, [Turn(EAST, WEST)])
+
+    def test_prohibited_must_fit_dimensions(self):
+        bad = Turn(Direction(2, 1), Direction(0, 1))
+        with pytest.raises(ValueError):
+            TurnModel.from_prohibited("bad", 2, [bad])
+
+    def test_allow_180_must_be_reversals(self):
+        with pytest.raises(ValueError):
+            TurnModel.from_prohibited(
+                "bad", 2, [], allow_180=[Turn(EAST, NORTH)]
+            )
+
+
+class TestTotality:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_paper_models_prohibit_disjoint_quarter(self, n):
+        """Each of the three adaptive models prohibits exactly n(n-1)
+        turns, all distinct 90-degree turns."""
+        for factory in (
+            TurnModel.west_first,
+            TurnModel.north_last,
+            TurnModel.negative_first,
+        ):
+            model = factory(n)
+            assert len(model.prohibited) == n * (n - 1)
+            assert model.prohibited <= set(ninety_degree_turns(n))

@@ -1,0 +1,67 @@
+"""Tests for turn enumeration and classification (Section 2)."""
+
+import pytest
+
+from repro.core import Turn, TurnKind, count_ninety_degree_turns, ninety_degree_turns
+from repro.core.turns import one_eighty_degree_turns, turns_in_plane
+from repro.topology import Direction, EAST, NORTH, SOUTH, WEST
+
+
+class TestTurnClassification:
+    def test_ninety_degree(self):
+        assert Turn(EAST, NORTH).kind is TurnKind.NINETY
+
+    def test_one_eighty_degree(self):
+        assert Turn(EAST, WEST).kind is TurnKind.ONE_EIGHTY
+
+    def test_straight(self):
+        assert Turn(EAST, EAST).kind is TurnKind.STRAIGHT
+
+    def test_plane(self):
+        assert Turn(EAST, NORTH).plane == (0, 1)
+        assert Turn(Direction(3, 1), Direction(1, -1)).plane == (1, 3)
+
+    def test_turn_ordering_and_hash(self):
+        a, b = Turn(EAST, NORTH), Turn(EAST, NORTH)
+        assert a == b and len({a, b}) == 1
+
+
+class TestTurnCounts:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8])
+    def test_ninety_degree_count_matches_4n_n_minus_1(self, n):
+        """Section 2: a packet has 4n(n-1) possible 90-degree turns."""
+        turns = ninety_degree_turns(n)
+        assert len(turns) == 4 * n * (n - 1)
+        assert len(turns) == count_ninety_degree_turns(n)
+        assert len(set(turns)) == len(turns)
+
+    def test_2d_has_eight_turns(self):
+        """The eight 90-degree turns of Figure 2."""
+        turns = set(ninety_degree_turns(2))
+        assert len(turns) == 8
+        expected = {
+            Turn(WEST, NORTH), Turn(WEST, SOUTH),
+            Turn(EAST, NORTH), Turn(EAST, SOUTH),
+            Turn(NORTH, WEST), Turn(NORTH, EAST),
+            Turn(SOUTH, WEST), Turn(SOUTH, EAST),
+        }
+        assert turns == expected
+
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    def test_reversal_count(self, n):
+        assert len(one_eighty_degree_turns(n)) == 2 * n
+
+    def test_turns_in_plane(self):
+        assert len(turns_in_plane(3, 0, 2)) == 8
+        assert all(t.plane == (0, 2) for t in turns_in_plane(3, 2, 0))
+
+    def test_turns_in_plane_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            turns_in_plane(3, 1, 1)
+
+    def test_each_direction_has_2n_minus_2_turns(self):
+        """Section 2: each of the 2n directions offers 2n-2 turns."""
+        n = 4
+        for frm in (Direction(d, s) for d in range(n) for s in (-1, 1)):
+            outgoing = [t for t in ninety_degree_turns(n) if t.frm == frm]
+            assert len(outgoing) == 2 * n - 2

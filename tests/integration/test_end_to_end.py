@@ -1,0 +1,111 @@
+"""End-to-end integration: public API, full simulation pipelines, and
+cross-layer consistency."""
+
+import pytest
+
+import repro
+from repro import (
+    Hypercube,
+    Mesh2D,
+    SimulationConfig,
+    UniformPattern,
+    WormholeSimulator,
+    make_algorithm,
+    verify_algorithm,
+)
+from repro.routing import hypercube_algorithms, mesh_algorithms
+from repro.traffic import HypercubeTransposePattern, MeshTransposePattern
+
+
+class TestPublicAPI:
+    def test_quickstart_from_the_package_docstring(self):
+        mesh = repro.Mesh2D(16, 16)
+        algorithm = repro.WestFirst(mesh)
+        assert repro.verify_algorithm(algorithm).deadlock_free
+        sim = repro.WormholeSimulator(
+            algorithm,
+            repro.UniformPattern(mesh),
+            repro.SimulationConfig(
+                offered_load=1.0, warmup_cycles=200, measure_cycles=800
+            ),
+        )
+        result = sim.run()
+        assert result.avg_latency_us is not None
+        assert result.throughput_flits_per_us > 0
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestCrossLayerConsistency:
+    def test_simulated_hops_match_pattern_average(self):
+        """The simulator's measured mean hop count equals the workload's
+        analytic mean (minimal routing cannot do otherwise)."""
+        mesh = Mesh2D(16, 16)
+        pattern = MeshTransposePattern(mesh)
+        config = SimulationConfig(
+            offered_load=0.3, warmup_cycles=500, measure_cycles=4_000, seed=11
+        )
+        result = WormholeSimulator(
+            make_algorithm("xy", mesh), pattern, config
+        ).run()
+        assert result.avg_hops == pytest.approx(
+            float(pattern.average_hops()), rel=0.05
+        )
+
+    def test_no_misroutes_under_minimal_routing(self):
+        mesh = Mesh2D(8, 8)
+        config = SimulationConfig(
+            offered_load=1.0, warmup_cycles=200, measure_cycles=2_000, seed=3
+        )
+        for algorithm in mesh_algorithms(mesh):
+            result = WormholeSimulator(
+                algorithm, UniformPattern(mesh), config
+            ).run()
+            assert result.total_misroutes == 0, algorithm.name
+
+    def test_every_simulated_algorithm_is_verified_deadlock_free(self):
+        """The lineup used in the figures passes the CDG check."""
+        for algorithm in mesh_algorithms(Mesh2D(5, 5)) + hypercube_algorithms(
+            Hypercube(4)
+        ):
+            assert verify_algorithm(algorithm).deadlock_free, algorithm.name
+
+
+class TestLongRunStability:
+    @pytest.mark.parametrize("name", ["xy", "west-first", "negative-first"])
+    def test_overload_runs_complete_without_deadlock(self, name):
+        """Far past saturation, turn-model routing keeps making progress
+        (the watchdog never fires)."""
+        mesh = Mesh2D(8, 8)
+        config = SimulationConfig(
+            offered_load=8.0,
+            warmup_cycles=0,
+            measure_cycles=8_000,
+            deadlock_threshold=1_500,
+            seed=13,
+        )
+        result = WormholeSimulator(
+            make_algorithm(name, mesh), UniformPattern(mesh), config
+        ).run()
+        assert not result.deadlock
+        assert result.delivered_packets > 0
+
+    def test_cube_transpose_overload_stable(self):
+        cube = Hypercube(6)
+        config = SimulationConfig(
+            offered_load=8.0,
+            warmup_cycles=0,
+            measure_cycles=6_000,
+            deadlock_threshold=1_500,
+            seed=13,
+        )
+        for algorithm in hypercube_algorithms(cube):
+            result = WormholeSimulator(
+                algorithm, HypercubeTransposePattern(cube), config
+            ).run()
+            assert not result.deadlock, algorithm.name

@@ -1,0 +1,13 @@
+"""Hypothesis settings for the property suite: no per-example deadline
+(the exhaustive-checking examples legitimately vary in cost across
+machines), modest example counts for CI friendliness."""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

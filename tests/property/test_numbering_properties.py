@@ -1,0 +1,83 @@
+"""Property-based tests for the channel numberings (Theorems 2, 3, 5):
+monotone along random legal walks on random mesh shapes."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    dimension_order_numbering,
+    negative_first_numbering,
+    north_last_numbering,
+    west_first_numbering,
+)
+from repro.routing import (
+    NegativeFirst,
+    NorthLast,
+    WestFirst,
+    XY,
+    path_channels,
+    walk,
+)
+from repro.topology import Mesh, Mesh2D
+
+
+@st.composite
+def walk_case(draw):
+    m = draw(st.integers(2, 10))
+    n = draw(st.integers(2, 10))
+    topo = Mesh2D(m, n)
+    src = draw(st.integers(0, topo.num_nodes - 1))
+    dst = draw(st.integers(0, topo.num_nodes - 1))
+    seed = draw(st.integers(0, 2 ** 16))
+    return topo, src, dst, seed
+
+
+CASES = [
+    (WestFirst, west_first_numbering, True),
+    (NorthLast, north_last_numbering, True),
+    (NegativeFirst, negative_first_numbering, False),
+    (XY, dimension_order_numbering, True),
+]
+
+
+class TestMonotoneAlongRandomWalks:
+    @given(walk_case())
+    def test_all_numberings(self, case):
+        topo, src, dst, seed = case
+        if src == dst:
+            return
+        rng = random.Random(seed)
+        for alg_cls, builder, decreasing in CASES:
+            numbering = builder(topo)
+            path = walk(alg_cls(topo), src, dst, rng=rng)
+            values = [numbering[c] for c in path_channels(topo, path)]
+            pairs = list(zip(values, values[1:]))
+            if decreasing:
+                assert all(a > b for a, b in pairs), (alg_cls.__name__, values)
+            else:
+                assert all(a < b for a, b in pairs), (alg_cls.__name__, values)
+
+
+@st.composite
+def mesh_nd_case(draw):
+    ndims = draw(st.integers(2, 4))
+    dims = tuple(draw(st.integers(2, 4)) for _ in range(ndims))
+    topo = Mesh(dims)
+    src = draw(st.integers(0, topo.num_nodes - 1))
+    dst = draw(st.integers(0, topo.num_nodes - 1))
+    seed = draw(st.integers(0, 2 ** 16))
+    return topo, src, dst, seed
+
+
+class TestNegativeFirstNDim:
+    @given(mesh_nd_case())
+    def test_theorem_5_on_random_nd_meshes(self, case):
+        topo, src, dst, seed = case
+        if src == dst:
+            return
+        numbering = negative_first_numbering(topo)
+        path = walk(NegativeFirst(topo), src, dst, rng=random.Random(seed))
+        values = [numbering[c] for c in path_channels(topo, path)]
+        assert all(a < b for a, b in zip(values, values[1:]))

@@ -1,0 +1,175 @@
+"""Property-based tests for routing-algorithm invariants.
+
+The heart of the suite: every paper algorithm, on randomly drawn
+topologies and node pairs, must deliver, stay minimal, respect its turn
+model, and — for the three two-phase algorithms — be *maximally adaptive*
+(identical to the exhaustive turn-restricted routing relation)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TurnModel
+from repro.routing import (
+    AllButOneNegativeFirst,
+    AllButOnePositiveLast,
+    DimensionOrder,
+    NegativeFirst,
+    PCube,
+    TurnRestrictedMinimal,
+    WestFirst,
+    NorthLast,
+    XY,
+    directions_of_path,
+    path_respects_turn_model,
+    walk,
+)
+from repro.topology import Hypercube, Mesh, Mesh2D
+
+
+MESH_ALGOS = [XY, WestFirst, NorthLast, NegativeFirst]
+
+
+@st.composite
+def mesh_case(draw):
+    m = draw(st.integers(2, 8))
+    n = draw(st.integers(2, 8))
+    topo = Mesh2D(m, n)
+    src = draw(st.integers(0, topo.num_nodes - 1))
+    dst = draw(st.integers(0, topo.num_nodes - 1))
+    seed = draw(st.integers(0, 2 ** 16))
+    return topo, src, dst, seed
+
+
+@st.composite
+def mesh3d_case(draw):
+    dims = tuple(draw(st.integers(2, 4)) for _ in range(3))
+    topo = Mesh(dims)
+    src = draw(st.integers(0, topo.num_nodes - 1))
+    dst = draw(st.integers(0, topo.num_nodes - 1))
+    seed = draw(st.integers(0, 2 ** 16))
+    return topo, src, dst, seed
+
+
+@st.composite
+def cube_case(draw):
+    n = draw(st.integers(2, 8))
+    topo = Hypercube(n)
+    src = draw(st.integers(0, topo.num_nodes - 1))
+    dst = draw(st.integers(0, topo.num_nodes - 1))
+    seed = draw(st.integers(0, 2 ** 16))
+    return topo, src, dst, seed
+
+
+class TestDeliveryAndMinimality:
+    @given(mesh_case())
+    def test_2d_algorithms_deliver_minimally(self, case):
+        topo, src, dst, seed = case
+        if src == dst:
+            return
+        rng = random.Random(seed)
+        for alg_cls in MESH_ALGOS:
+            path = walk(alg_cls(topo), src, dst, rng=rng)
+            assert path[-1] == dst
+            assert len(path) - 1 == topo.distance(src, dst)
+
+    @given(mesh3d_case())
+    def test_3d_algorithms_deliver_minimally(self, case):
+        topo, src, dst, seed = case
+        if src == dst:
+            return
+        rng = random.Random(seed)
+        for alg_cls in (
+            DimensionOrder,
+            AllButOneNegativeFirst,
+            AllButOnePositiveLast,
+            NegativeFirst,
+        ):
+            path = walk(alg_cls(topo), src, dst, rng=rng)
+            assert len(path) - 1 == topo.distance(src, dst)
+
+    @given(cube_case())
+    def test_pcube_delivers_minimally(self, case):
+        topo, src, dst, seed = case
+        if src == dst:
+            return
+        path = walk(PCube(topo), src, dst, rng=random.Random(seed))
+        assert len(path) - 1 == topo.hamming(src, dst)
+
+
+class TestTurnDiscipline:
+    @given(mesh_case())
+    def test_paths_respect_turn_models(self, case):
+        topo, src, dst, seed = case
+        if src == dst:
+            return
+        rng = random.Random(seed)
+        for alg_cls in (WestFirst, NorthLast, NegativeFirst):
+            alg = alg_cls(topo)
+            path = walk(alg, src, dst, rng=rng)
+            assert path_respects_turn_model(topo, path, alg.turn_model())
+
+    @given(mesh_case())
+    def test_candidates_always_productive_for_minimal_algorithms(self, case):
+        topo, src, dst, seed = case
+        if src == dst:
+            return
+        for alg_cls in MESH_ALGOS:
+            alg = alg_cls(topo)
+            productive = set(topo.productive_directions(src, dst))
+            assert set(alg.candidates(src, dst)) <= productive
+
+    @given(cube_case())
+    def test_pcube_never_reverses(self, case):
+        topo, src, dst, seed = case
+        if src == dst:
+            return
+        path = walk(PCube(topo), src, dst, rng=random.Random(seed))
+        dims_taken = [d.dim for d in directions_of_path(topo, path)]
+        assert len(set(dims_taken)) == len(dims_taken)
+
+
+class TestMaximalAdaptiveness:
+    """The paper's central claim: the phase-structured algorithms are
+    *maximally adaptive* — they permit every minimal path the prohibition
+    set allows.  Equivalently, their candidate sets equal the exhaustive
+    turn-restricted relation at every reachable state."""
+
+    @given(mesh_case())
+    @settings(max_examples=40)
+    def test_west_first_equals_turn_restricted(self, case):
+        topo, src, dst, seed = case
+        self._check(topo, WestFirst(topo), TurnModel.west_first(), src, dst, seed)
+
+    @given(mesh_case())
+    @settings(max_examples=40)
+    def test_north_last_equals_turn_restricted(self, case):
+        topo, src, dst, seed = case
+        self._check(topo, NorthLast(topo), TurnModel.north_last(), src, dst, seed)
+
+    @given(mesh_case())
+    @settings(max_examples=40)
+    def test_negative_first_equals_turn_restricted(self, case):
+        topo, src, dst, seed = case
+        self._check(
+            topo, NegativeFirst(topo), TurnModel.negative_first(), src, dst, seed
+        )
+
+    def _check(self, topo, algorithm, model, src, dst, seed):
+        if src == dst:
+            return
+        maximal = TurnRestrictedMinimal(topo, model)
+        rng = random.Random(seed)
+        # Compare candidate sets along a random legal walk.
+        current, heading = src, None
+        while current != dst:
+            ours = algorithm.candidates(current, dst, heading)
+            theirs = maximal.candidates(current, dst, heading)
+            assert ours == theirs, (
+                f"at {topo.coords(current)} heading {heading}: "
+                f"{ours} != {theirs}"
+            )
+            direction = rng.choice(ours)
+            current = topo.neighbor(current, direction)
+            heading = direction

@@ -1,0 +1,99 @@
+"""Property-based tests for simulator invariants on randomised runs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing import mesh_algorithms
+from repro.simulation import (
+    PacketState,
+    SimulationConfig,
+    WormholeSimulator,
+)
+from repro.topology import Mesh2D
+from repro.traffic import UniformPattern
+
+
+@st.composite
+def sim_case(draw):
+    m = draw(st.integers(3, 6))
+    n = draw(st.integers(3, 6))
+    load = draw(st.floats(0.2, 3.0))
+    seed = draw(st.integers(0, 2 ** 16))
+    alg_index = draw(st.integers(0, 3))
+    depth = draw(st.integers(1, 3))
+    return m, n, load, seed, alg_index, depth
+
+
+def build(m, n, load, seed, alg_index, depth, cycles=800):
+    mesh = Mesh2D(m, n)
+    algorithm = mesh_algorithms(mesh)[alg_index]
+    config = SimulationConfig(
+        offered_load=load,
+        warmup_cycles=0,
+        measure_cycles=cycles,
+        seed=seed,
+        buffer_depth=depth,
+    )
+    return WormholeSimulator(algorithm, UniformPattern(mesh), config)
+
+
+class TestInvariantsDuringExecution:
+    @given(sim_case())
+    @settings(max_examples=25)
+    def test_structural_invariants_hold_every_50_cycles(self, case):
+        sim = build(*case)
+        for _ in range(12):
+            for _ in range(50):
+                sim.step()
+            self.check_invariants(sim)
+
+    @staticmethod
+    def check_invariants(sim):
+        depth = sim.config.buffer_depth
+        # Channel allocation is consistent with the packets' hold lists.
+        held = {}
+        for packet in sim.active:
+            assert packet.in_network
+            assert 0 <= packet.ejected <= packet.launched <= packet.length
+            for hold in packet.holds:
+                assert 0 <= hold.buffered <= depth
+                assert hold.buffered <= hold.moved <= packet.length
+                assert hold.channel_id not in held
+                held[hold.channel_id] = packet
+            # The worm's holds form a contiguous channel chain.
+            chain = [sim.channels[h.channel_id] for h in packet.holds]
+            for a, b in zip(chain, chain[1:]):
+                assert a.dst == b.src
+        for cid, owner in enumerate(sim.channel_alloc):
+            if owner is not None:
+                assert held.get(cid) is owner
+        for node, owner in enumerate(sim.ejection_alloc):
+            if owner is not None:
+                assert owner.state is PacketState.EJECTING
+                assert owner.dst == node
+
+    @given(sim_case())
+    @settings(max_examples=15)
+    def test_flit_conservation_at_end(self, case):
+        sim = build(*case, cycles=1500)
+        result = sim.run()
+        assert not result.deadlock  # turn-model algorithms cannot deadlock
+        # Every delivered packet's flits fully drained.
+        in_flight = sum(p.flits_in_network for p in sim.active)
+        buffered = sum(
+            h.buffered for p in sim.active for h in p.holds
+        )
+        assert buffered <= in_flight
+
+    @given(sim_case())
+    @settings(max_examples=10)
+    def test_delivered_packets_have_complete_records(self, case):
+        sim = build(*case, cycles=1500)
+        sim.run()
+        result = sim.result
+        if result.delivered_packets:
+            assert result.delivered_flits > 0
+            assert result.avg_latency_us is not None
+            assert result.avg_latency_us > 0
+            assert result.avg_network_latency_us <= result.avg_latency_us
+            assert result.avg_hops >= 1

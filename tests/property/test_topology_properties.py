@@ -1,0 +1,101 @@
+"""Property-based tests for topology invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import Direction, Hypercube, KAryNCube, Mesh, Mesh2D
+
+
+mesh_dims = st.lists(st.integers(2, 5), min_size=1, max_size=4).map(tuple)
+
+
+@st.composite
+def mesh_and_node(draw):
+    dims = draw(mesh_dims)
+    topo = Mesh(dims)
+    node = draw(st.integers(0, topo.num_nodes - 1))
+    return topo, node
+
+
+@st.composite
+def torus_and_node(draw):
+    k = draw(st.integers(2, 6))
+    n = draw(st.integers(1, 3))
+    topo = KAryNCube(k, n)
+    node = draw(st.integers(0, topo.num_nodes - 1))
+    return topo, node
+
+
+class TestCoordinateAlgebra:
+    @given(mesh_and_node())
+    def test_coords_roundtrip(self, case):
+        topo, node = case
+        assert topo.node_at(topo.coords(node)) == node
+
+    @given(mesh_and_node())
+    def test_neighbor_symmetry(self, case):
+        """Moving out and back returns to the start."""
+        topo, node = case
+        for d in topo.directions():
+            nbr = topo.neighbor(node, d)
+            if nbr is not None:
+                assert topo.neighbor(nbr, d.opposite) == node
+
+    @given(torus_and_node())
+    def test_torus_neighbor_symmetry(self, case):
+        topo, node = case
+        for d in topo.directions():
+            nbr = topo.neighbor(node, d)
+            if nbr is not None:
+                assert topo.neighbor(nbr, d.opposite) == node
+
+
+class TestDistanceMetric:
+    @given(mesh_and_node(), st.data())
+    def test_triangle_inequality(self, case, data):
+        topo, a = case
+        b = data.draw(st.integers(0, topo.num_nodes - 1))
+        c = data.draw(st.integers(0, topo.num_nodes - 1))
+        assert topo.distance(a, c) <= topo.distance(a, b) + topo.distance(b, c)
+
+    @given(torus_and_node(), st.data())
+    def test_torus_distance_symmetric(self, case, data):
+        topo, a = case
+        b = data.draw(st.integers(0, topo.num_nodes - 1))
+        assert topo.distance(a, b) == topo.distance(b, a)
+
+    @given(mesh_and_node(), st.data())
+    def test_productive_moves_reduce_distance(self, case, data):
+        topo, src = case
+        dst = data.draw(st.integers(0, topo.num_nodes - 1))
+        here = topo.distance(src, dst)
+        for d in topo.productive_directions(src, dst):
+            nbr = topo.neighbor(src, d)
+            assert nbr is not None
+            assert topo.distance(nbr, dst) == here - 1
+
+    @given(torus_and_node(), st.data())
+    def test_torus_productive_moves_reduce_distance(self, case, data):
+        topo, src = case
+        dst = data.draw(st.integers(0, topo.num_nodes - 1))
+        here = topo.distance(src, dst)
+        for d in topo.productive_directions(src, dst):
+            nbr = topo.neighbor(src, d)
+            assert nbr is not None
+            assert topo.distance(nbr, dst) == here - 1
+
+
+class TestChannels:
+    @given(mesh_dims)
+    def test_channels_pair_up(self, dims):
+        """Every channel has a reverse channel (pairs of unidirectional
+        channels, as in the paper's simulator setup)."""
+        topo = Mesh(dims)
+        by_endpoints = {(c.src, c.dst) for c in topo.channels()}
+        assert len(by_endpoints) == topo.num_channels()
+        for src, dst in by_endpoints:
+            assert (dst, src) in by_endpoints
+
+    @given(st.integers(1, 8))
+    def test_hypercube_channel_count(self, n):
+        assert Hypercube(n).num_channels() == n * 2 ** n

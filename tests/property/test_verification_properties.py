@@ -1,0 +1,116 @@
+"""Property-based tests for the verification layer: certificates and
+fault analysis on randomly drawn scenarios."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TurnModel, two_turn_prohibitions_2d
+from repro.routing import (
+    TurnRestrictedMinimal,
+    WestFirst,
+    XY,
+    path_channels,
+    walk,
+)
+from repro.topology import Mesh2D
+from repro.verification import (
+    fault_tolerance,
+    generate_certificate,
+    pair_survives,
+    turn_set_is_deadlock_free,
+)
+
+
+SAFE_PAIRS = None
+
+
+def safe_pairs():
+    global SAFE_PAIRS
+    if SAFE_PAIRS is None:
+        mesh = Mesh2D(3, 3)
+        SAFE_PAIRS = [
+            pair
+            for pair in two_turn_prohibitions_2d()
+            if turn_set_is_deadlock_free(
+                mesh, TurnModel.from_prohibited("pair", 2, pair)
+            )
+        ]
+    return SAFE_PAIRS
+
+
+class TestCertificateProperties:
+    @given(
+        pair_index=st.integers(0, 11),
+        m=st.integers(3, 5),
+        n=st.integers(3, 5),
+        seed=st.integers(0, 2 ** 16),
+    )
+    @settings(max_examples=20)
+    def test_every_safe_model_gets_a_valid_certificate(
+        self, pair_index, m, n, seed
+    ):
+        mesh = Mesh2D(m, n)
+        model = TurnModel.from_prohibited(
+            "pair", 2, safe_pairs()[pair_index]
+        )
+        algorithm = TurnRestrictedMinimal(mesh, model)
+        certificate = generate_certificate(algorithm)
+        assert certificate is not None
+        # Walk random routable pairs: ranks strictly increase.
+        rng = random.Random(seed)
+        for _ in range(10):
+            src, dst = rng.randrange(m * n), rng.randrange(m * n)
+            if src == dst or not algorithm.candidates(src, dst):
+                continue
+            path = walk(algorithm, src, dst, rng=rng)
+            assert certificate.check_path(path_channels(mesh, path))
+
+
+class TestFaultProperties:
+    @given(
+        m=st.integers(3, 6),
+        n=st.integers(3, 6),
+        seed=st.integers(0, 2 ** 16),
+        num_faults=st.integers(0, 4),
+    )
+    @settings(max_examples=25)
+    def test_survival_is_monotone_in_the_fault_set(
+        self, m, n, seed, num_faults
+    ):
+        """Adding faults can only kill pairs, never revive them."""
+        mesh = Mesh2D(m, n)
+        algorithm = WestFirst(mesh)
+        rng = random.Random(seed)
+        channels = list(mesh.channels())
+        faults = rng.sample(channels, num_faults)
+        smaller = set(faults[: max(0, num_faults - 1)])
+        larger = set(faults)
+        pairs = [
+            (rng.randrange(m * n), rng.randrange(m * n)) for _ in range(20)
+        ]
+        pairs = [(s, d) for s, d in pairs if s != d]
+        small_report = fault_tolerance(algorithm, smaller, pairs)
+        large_report = fault_tolerance(algorithm, larger, pairs)
+        assert large_report.surviving_pairs <= small_report.surviving_pairs
+
+    @given(
+        m=st.integers(3, 6),
+        seed=st.integers(0, 2 ** 16),
+    )
+    @settings(max_examples=25)
+    def test_faults_off_the_route_never_matter_for_xy(self, m, seed):
+        """xy's unique path either contains a faulty channel or the pair
+        survives — exact characterisation."""
+        mesh = Mesh2D(m, m)
+        algorithm = XY(mesh)
+        rng = random.Random(seed)
+        channels = list(mesh.channels())
+        faulty = set(rng.sample(channels, 2))
+        src, dst = rng.randrange(m * m), rng.randrange(m * m)
+        if src == dst:
+            return
+        route = set(path_channels(mesh, walk(algorithm, src, dst)))
+        expected = not (route & faulty)
+        assert pair_survives(algorithm, src, dst, faulty) == expected

@@ -1,0 +1,108 @@
+"""Tests for xy and e-cube dimension-order routing (the baselines)."""
+
+import pytest
+
+from repro.routing import DimensionOrder, ECube, XY, walk
+from repro.topology import EAST, Hypercube, Mesh, Mesh2D, NORTH, SOUTH, WEST
+
+
+class TestXY:
+    def setup_method(self):
+        self.mesh = Mesh2D(8, 8)
+        self.alg = XY(self.mesh)
+
+    def test_routes_x_completely_first(self):
+        src = self.mesh.node_xy(1, 1)
+        dst = self.mesh.node_xy(4, 5)
+        assert self.alg.candidates(src, dst) == [EAST]
+        mid = self.mesh.node_xy(4, 1)
+        assert self.alg.candidates(mid, dst) == [NORTH]
+
+    def test_single_candidate_always(self):
+        for src in self.mesh.nodes():
+            for dst in self.mesh.nodes():
+                cands = self.alg.candidates(src, dst)
+                assert len(cands) == (0 if src == dst else 1)
+
+    def test_path_is_row_then_column(self):
+        src = self.mesh.node_xy(6, 2)
+        dst = self.mesh.node_xy(2, 5)
+        path = [self.mesh.coords(n) for n in walk(self.alg, src, dst)]
+        xs = [p[0] for p in path]
+        # x reaches its final value before y ever changes
+        first_y_change = next(
+            i for i, p in enumerate(path) if p[1] != path[0][1]
+        )
+        assert xs[first_y_change - 1] == 2
+
+    def test_not_adaptive(self):
+        assert not self.alg.is_adaptive
+        assert self.alg.is_minimal
+
+    def test_name(self):
+        assert self.alg.name == "xy"
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            XY(Mesh((3, 3, 3)))
+
+    def test_turn_model_is_xy(self):
+        assert self.alg.turn_model().name == "xy"
+
+
+class TestECube:
+    def setup_method(self):
+        self.cube = Hypercube(6)
+        self.alg = ECube(self.cube)
+
+    def test_resolves_lowest_dimension_first(self):
+        src, dst = 0b000000, 0b101010
+        cands = self.alg.candidates(src, dst)
+        assert len(cands) == 1
+        assert cands[0].dim == 1
+
+    def test_walk_fixes_dimensions_in_order(self):
+        src, dst = 0b110011, 0b001100
+        path = walk(self.alg, src, dst)
+        dims = [
+            (a ^ b).bit_length() - 1 for a, b in zip(path, path[1:])
+        ]
+        assert dims == sorted(dims)
+        assert len(dims) == self.cube.hamming(src, dst)
+
+    def test_requires_hypercube(self):
+        with pytest.raises(ValueError):
+            ECube(Mesh2D(4, 4))
+
+    def test_name(self):
+        assert self.alg.name == "e-cube"
+
+
+class TestDimensionOrderGeneric:
+    def test_custom_order(self):
+        mesh = Mesh((4, 4))
+        alg = DimensionOrder(mesh, order=[1, 0])
+        src = mesh.node_at((0, 0))
+        dst = mesh.node_at((2, 3))
+        assert alg.candidates(src, dst)[0].dim == 1  # y first
+
+    def test_custom_order_turn_model_breaks_cycles(self):
+        mesh = Mesh((3, 3, 3))
+        alg = DimensionOrder(mesh, order=[2, 0, 1])
+        assert alg.turn_model().breaks_all_cycles()
+
+    def test_invalid_order_rejected(self):
+        mesh = Mesh((4, 4))
+        with pytest.raises(ValueError):
+            DimensionOrder(mesh, order=[0, 0])
+        with pytest.raises(ValueError):
+            DimensionOrder(mesh, order=[0])
+
+    def test_delivers_on_3d_mesh(self):
+        mesh = Mesh((3, 4, 2))
+        alg = DimensionOrder(mesh)
+        for src in mesh.nodes():
+            for dst in mesh.nodes():
+                if src != dst:
+                    path = walk(alg, src, dst)
+                    assert len(path) - 1 == mesh.distance(src, dst)

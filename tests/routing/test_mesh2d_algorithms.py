@@ -1,0 +1,188 @@
+"""Tests for west-first, north-last, and negative-first on 2D meshes
+(Section 3)."""
+
+import random
+
+import pytest
+
+from repro.core import TurnModel
+from repro.routing import (
+    NegativeFirst,
+    NorthLast,
+    WestFirst,
+    directions_of_path,
+    path_respects_turn_model,
+    walk,
+)
+from repro.topology import EAST, Mesh, Mesh2D, NORTH, SOUTH, WEST
+
+
+class TestWestFirst:
+    def setup_method(self):
+        self.mesh = Mesh2D(8, 8)
+        self.alg = WestFirst(self.mesh)
+
+    def test_west_destinations_route_west_only(self):
+        src = self.mesh.node_xy(5, 3)
+        dst = self.mesh.node_xy(2, 6)
+        assert self.alg.candidates(src, dst) == [WEST]
+
+    def test_east_destinations_fully_adaptive(self):
+        src = self.mesh.node_xy(2, 2)
+        dst = self.mesh.node_xy(5, 5)
+        assert self.alg.candidates(src, dst) == [EAST, NORTH]
+
+    def test_after_west_phase_adaptive(self):
+        src = self.mesh.node_xy(2, 3)
+        dst = self.mesh.node_xy(2, 6)
+        assert self.alg.candidates(src, dst) == [NORTH]
+
+    def test_all_paths_respect_turn_model(self):
+        model = TurnModel.west_first()
+        rng = random.Random(42)
+        for _ in range(300):
+            src = rng.randrange(self.mesh.num_nodes)
+            dst = rng.randrange(self.mesh.num_nodes)
+            if src == dst:
+                continue
+            path = walk(self.alg, src, dst, rng=rng)
+            assert path_respects_turn_model(self.mesh, path, model)
+            assert len(path) - 1 == self.mesh.distance(src, dst)
+
+    def test_never_offers_prohibited_turn_given_heading(self):
+        """Even on unreachable states, candidates honour the heading."""
+        node = self.mesh.node_xy(4, 4)
+        west_dst = self.mesh.node_xy(1, 4)
+        # A packet "travelling east" can never legally need west; the
+        # function reports a dead end rather than a 180-degree turn.
+        assert self.alg.candidates(node, west_dst, EAST) == []
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            WestFirst(Mesh((3, 3, 3)))
+
+    def test_name_and_properties(self):
+        assert self.alg.name == "west-first"
+        assert self.alg.is_adaptive
+        assert self.alg.is_minimal
+
+
+class TestNorthLast:
+    def setup_method(self):
+        self.mesh = Mesh2D(8, 8)
+        self.alg = NorthLast(self.mesh)
+
+    def test_north_deferred_while_other_work_remains(self):
+        src = self.mesh.node_xy(2, 2)
+        dst = self.mesh.node_xy(5, 5)
+        assert NORTH not in self.alg.candidates(src, dst)
+
+    def test_north_taken_when_last(self):
+        src = self.mesh.node_xy(5, 2)
+        dst = self.mesh.node_xy(5, 6)
+        assert self.alg.candidates(src, dst) == [NORTH]
+
+    def test_south_destinations_fully_adaptive(self):
+        src = self.mesh.node_xy(2, 5)
+        dst = self.mesh.node_xy(5, 2)
+        assert self.alg.candidates(src, dst) == [EAST, SOUTH]
+
+    def test_all_paths_respect_turn_model(self):
+        model = TurnModel.north_last()
+        rng = random.Random(7)
+        for _ in range(300):
+            src = rng.randrange(self.mesh.num_nodes)
+            dst = rng.randrange(self.mesh.num_nodes)
+            if src == dst:
+                continue
+            path = walk(self.alg, src, dst, rng=rng)
+            assert path_respects_turn_model(self.mesh, path, model)
+            dirs = directions_of_path(self.mesh, path)
+            # Once the heading is north it stays north.
+            if NORTH in dirs:
+                assert all(d == NORTH for d in dirs[dirs.index(NORTH):])
+
+
+class TestNegativeFirst:
+    def setup_method(self):
+        self.mesh = Mesh2D(8, 8)
+        self.alg = NegativeFirst(self.mesh)
+
+    def test_negative_phase_first(self):
+        src = self.mesh.node_xy(5, 2)
+        dst = self.mesh.node_xy(2, 5)  # needs west (neg) and north (pos)
+        assert self.alg.candidates(src, dst) == [WEST]
+
+    def test_both_negative_fully_adaptive(self):
+        src = self.mesh.node_xy(5, 5)
+        dst = self.mesh.node_xy(2, 2)
+        assert self.alg.candidates(src, dst) == [WEST, SOUTH]
+
+    def test_both_positive_fully_adaptive(self):
+        src = self.mesh.node_xy(2, 2)
+        dst = self.mesh.node_xy(5, 5)
+        assert self.alg.candidates(src, dst) == [EAST, NORTH]
+
+    def test_positive_phase_never_turns_negative(self):
+        model = TurnModel.negative_first()
+        rng = random.Random(9)
+        for _ in range(300):
+            src = rng.randrange(self.mesh.num_nodes)
+            dst = rng.randrange(self.mesh.num_nodes)
+            if src == dst:
+                continue
+            path = walk(self.alg, src, dst, rng=rng)
+            dirs = directions_of_path(self.mesh, path)
+            seen_positive = False
+            for d in dirs:
+                if d.is_positive:
+                    seen_positive = True
+                assert not (seen_positive and d.is_negative)
+            assert path_respects_turn_model(self.mesh, path, model)
+
+
+class TestEscapeCandidates:
+    """Nonminimal (escape) moves must stay within the turn model and never
+    strand the packet."""
+
+    def test_west_first_offers_no_eastward_overshoot(self):
+        mesh = Mesh2D(8, 8)
+        alg = WestFirst(mesh)
+        node = mesh.node_xy(4, 4)
+        dst = mesh.node_xy(4, 6)  # productive: north only
+        escapes = alg.escape_candidates(node, dst, NORTH)
+        # East overshoot would create westward work west-first cannot
+        # reach from a non-west heading.
+        assert EAST not in escapes
+
+    def test_negative_first_allows_negative_overshoot_at_injection(self):
+        mesh = Mesh2D(8, 8)
+        alg = NegativeFirst(mesh)
+        node = mesh.node_xy(4, 4)
+        dst = mesh.node_xy(6, 4)  # productive: east
+        escapes = alg.escape_candidates(node, dst, None)
+        assert WEST in escapes or SOUTH in escapes
+
+    def test_escapes_never_point_off_the_mesh(self):
+        mesh = Mesh2D(4, 4)
+        alg = NegativeFirst(mesh)
+        for node in mesh.nodes():
+            for dst in mesh.nodes():
+                if node == dst:
+                    continue
+                for esc in alg.escape_candidates(node, dst, None):
+                    assert mesh.neighbor(node, esc) is not None
+
+    def test_escape_then_minimal_always_completes(self):
+        """After any single escape move, minimal routing still delivers."""
+        mesh = Mesh2D(5, 5)
+        for alg_cls in (WestFirst, NorthLast, NegativeFirst):
+            alg = alg_cls(mesh)
+            for src in mesh.nodes():
+                for dst in mesh.nodes():
+                    if src == dst:
+                        continue
+                    for esc in alg.escape_candidates(src, dst, None):
+                        nbr = mesh.neighbor(src, esc)
+                        # Raises RoutingDeadEnd if stranded.
+                        walk(alg, nbr, dst, initial_direction=esc)

@@ -1,0 +1,131 @@
+"""Tests for the k-ary n-cube extensions (Section 4.2)."""
+
+import random
+
+import pytest
+
+from repro.routing import (
+    ClassifiedNegativeFirst,
+    FirstHopWraparound,
+    MeshRestriction,
+    WestFirst,
+    walk,
+)
+from repro.topology import Direction, EAST, KAryNCube, Mesh2D, WEST
+
+
+class TestMeshRestriction:
+    def test_hides_wraparound_channels(self):
+        torus = KAryNCube(5, 2)
+        view = MeshRestriction(torus)
+        east_edge = torus.node_at((4, 2))
+        assert torus.neighbor(east_edge, EAST) is not None
+        assert view.neighbor(east_edge, EAST) is None
+
+    def test_plain_offsets(self):
+        torus = KAryNCube(8, 2)
+        view = MeshRestriction(torus)
+        src, dst = torus.node_at((0, 0)), torus.node_at((7, 0))
+        assert torus.offset(src, dst, 0) == -1  # shortest wraps
+        assert view.offset(src, dst, 0) == 7  # the mesh view does not
+
+
+class TestFirstHopWraparound:
+    def setup_method(self):
+        self.torus = KAryNCube(6, 2)
+        self.alg = FirstHopWraparound(self.torus)
+
+    def test_wraparound_offered_at_injection_only(self):
+        src = self.torus.node_at((5, 2))
+        dst = self.torus.node_at((0, 2))
+        at_injection = self.alg.candidates(src, dst, None)
+        later = self.alg.candidates(src, dst, EAST)
+        assert EAST in at_injection  # the wraparound shortcut
+        assert EAST not in later
+
+    def test_wraparound_must_shorten(self):
+        src = self.torus.node_at((2, 2))
+        dst = self.torus.node_at((3, 2))
+        cands = self.alg.candidates(src, dst, None)
+        assert all(
+            not self.torus.is_wraparound(src, d) for d in cands
+        )
+
+    def test_delivers_from_every_pair(self):
+        rng = random.Random(6)
+        for _ in range(300):
+            src = rng.randrange(self.torus.num_nodes)
+            dst = rng.randrange(self.torus.num_nodes)
+            if src == dst:
+                continue
+            walk(self.alg, src, dst, rng=rng)
+
+    def test_nonminimal_flag(self):
+        assert not self.alg.is_minimal
+
+    def test_supports_other_base_algorithms(self):
+        alg = FirstHopWraparound(self.torus, base_factory=WestFirst)
+        assert alg.name == "west-first+wrap1"
+        rng = random.Random(8)
+        for _ in range(200):
+            src = rng.randrange(self.torus.num_nodes)
+            dst = rng.randrange(self.torus.num_nodes)
+            if src == dst:
+                continue
+            walk(alg, src, dst, rng=rng)
+
+    def test_rejects_plain_mesh(self):
+        with pytest.raises(ValueError):
+            FirstHopWraparound(Mesh2D(4, 4))
+
+
+class TestClassifiedNegativeFirst:
+    def setup_method(self):
+        self.torus = KAryNCube(6, 2)
+        self.alg = ClassifiedNegativeFirst(self.torus)
+
+    def test_east_edge_has_two_westward_channels(self):
+        """The Section 4.2 example: a node at the east edge can go west
+        via the mesh channel or via the wraparound."""
+        src = self.torus.node_at((5, 2))
+        dst = self.torus.node_at((2, 2))
+        cands = self.alg.candidates(src, dst)
+        assert WEST in cands  # the mesh channel
+        assert EAST in cands  # the wraparound, classified west
+
+    def test_positive_wraparound_only_lands_on_destination_edge(self):
+        src = self.torus.node_at((0, 2))
+        to_edge = self.torus.node_at((5, 2))
+        inside = self.torus.node_at((4, 2))
+        assert WEST in self.alg.candidates(src, to_edge)
+        assert WEST not in self.alg.candidates(src, inside)
+
+    def test_negative_work_strictly_first(self):
+        src = self.torus.node_at((3, 1))
+        dst = self.torus.node_at((1, 3))  # west then north
+        cands = self.alg.candidates(src, dst)
+        assert all(d == WEST for d in cands)
+
+    def test_delivers_from_every_pair(self):
+        for src in self.torus.nodes():
+            for dst in self.torus.nodes():
+                if src != dst:
+                    walk(self.alg, src, dst)
+
+    def test_random_walks_deliver(self):
+        rng = random.Random(10)
+        for _ in range(300):
+            src = rng.randrange(self.torus.num_nodes)
+            dst = rng.randrange(self.torus.num_nodes)
+            if src == dst:
+                continue
+            walk(self.alg, src, dst, rng=rng)
+
+    def test_radix2_torus_degenerates_gracefully(self):
+        torus = KAryNCube(2, 3)
+        alg = ClassifiedNegativeFirst(torus)
+        for src in torus.nodes():
+            for dst in torus.nodes():
+                if src != dst:
+                    path = walk(alg, src, dst)
+                    assert len(path) - 1 == torus.distance(src, dst)

@@ -1,0 +1,120 @@
+"""Tests for TurnRestrictedMinimal: maximal minimal-adaptive routing
+under an arbitrary prohibition set."""
+
+import random
+
+import pytest
+
+from repro.core import Turn, TurnModel
+from repro.routing import (
+    NegativeFirst,
+    NorthLast,
+    TurnRestrictedMinimal,
+    WestFirst,
+    walk,
+)
+from repro.topology import EAST, Mesh, Mesh2D, NORTH, SOUTH, WEST
+from repro.verification import verify_algorithm
+
+
+class TestAgainstPhaseAlgorithms:
+    def test_equals_west_first_everywhere(self):
+        mesh = Mesh2D(5, 5)
+        maximal = TurnRestrictedMinimal(mesh, TurnModel.west_first())
+        reference = WestFirst(mesh)
+        for src in mesh.nodes():
+            for dst in mesh.nodes():
+                if src != dst:
+                    assert maximal.candidates(src, dst) == reference.candidates(
+                        src, dst
+                    )
+
+    def test_equals_negative_first_on_3d(self):
+        mesh = Mesh((3, 3, 3))
+        maximal = TurnRestrictedMinimal(mesh, TurnModel.negative_first(3))
+        reference = NegativeFirst(mesh)
+        rng = random.Random(0)
+        for _ in range(150):
+            src, dst = rng.randrange(27), rng.randrange(27)
+            if src != dst:
+                assert maximal.candidates(src, dst) == reference.candidates(
+                    src, dst
+                )
+
+
+class TestArbitraryModels:
+    def test_empty_prohibition_is_fully_adaptive(self):
+        mesh = Mesh2D(5, 5)
+        maximal = TurnRestrictedMinimal(
+            mesh, TurnModel.from_prohibited("none", 2, set())
+        )
+        src, dst = mesh.node_xy(1, 1), mesh.node_xy(3, 4)
+        assert set(maximal.candidates(src, dst)) == {EAST, NORTH}
+
+    def test_prunes_moves_that_lead_to_dead_ends(self):
+        """Under west-first prohibitions, a packet must not start north
+        when westward work remains — north can never re-enter west."""
+        mesh = Mesh2D(5, 5)
+        maximal = TurnRestrictedMinimal(mesh, TurnModel.west_first())
+        src, dst = mesh.node_xy(3, 1), mesh.node_xy(1, 3)
+        assert maximal.candidates(src, dst) == [WEST]
+
+    def test_bad_model_loses_connectivity(self):
+        """The Figure 4 pair leaves some pairs without any minimal path."""
+        mesh = Mesh2D(4, 4)
+        bad = TurnModel.from_prohibited(
+            "figure-4", 2, {Turn(EAST, NORTH), Turn(NORTH, EAST)}
+        )
+        alg = TurnRestrictedMinimal(mesh, bad)
+        assert alg.candidates(mesh.node_xy(0, 0), mesh.node_xy(1, 1)) == []
+
+    def test_respects_heading_filter(self):
+        mesh = Mesh2D(5, 5)
+        maximal = TurnRestrictedMinimal(mesh, TurnModel.north_last())
+        # Travelling north, continuing north is legal...
+        src, straight_up = mesh.node_xy(2, 2), mesh.node_xy(2, 4)
+        assert maximal.candidates(src, straight_up, NORTH) == [NORTH]
+        # ...but a destination needing east as well is unreachable from a
+        # northbound heading (north-last prohibits both turns out of
+        # north), and the maximal relation correctly reports a dead end.
+        assert maximal.candidates(src, mesh.node_xy(3, 3), NORTH) == []
+
+    def test_memoisation_is_stable(self):
+        mesh = Mesh2D(6, 6)
+        maximal = TurnRestrictedMinimal(mesh, TurnModel.negative_first())
+        src, dst = mesh.node_xy(4, 1), mesh.node_xy(1, 4)
+        first = maximal.candidates(src, dst)
+        second = maximal.candidates(src, dst)
+        assert first == second
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TurnRestrictedMinimal(Mesh2D(4, 4), TurnModel.negative_first(3))
+
+    def test_name_mentions_model(self):
+        alg = TurnRestrictedMinimal(Mesh2D(3, 3), TurnModel.xy())
+        assert "xy" in alg.name
+
+
+class TestSafetyOfSafeModels:
+    def test_all_safe_two_turn_models_route_and_verify(self):
+        """Every safe two-turn prohibition yields a deadlock-free,
+        connected-where-possible routing function."""
+        from repro.core import two_turn_prohibitions_2d
+        from repro.verification import turn_set_is_deadlock_free
+
+        mesh = Mesh2D(4, 4)
+        rng = random.Random(1)
+        for pair in two_turn_prohibitions_2d():
+            model = TurnModel.from_prohibited("pair", 2, pair)
+            if not turn_set_is_deadlock_free(mesh, model):
+                continue
+            alg = TurnRestrictedMinimal(mesh, model)
+            assert verify_algorithm(alg).deadlock_free
+            for _ in range(40):
+                src, dst = rng.randrange(16), rng.randrange(16)
+                if src == dst:
+                    continue
+                if alg.candidates(src, dst):
+                    path = walk(alg, src, dst, rng=rng)
+                    assert len(path) - 1 == mesh.distance(src, dst)

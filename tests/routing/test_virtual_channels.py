@@ -1,0 +1,152 @@
+"""Tests for the virtual-channel extension: dateline torus routing and
+escape-VC fully adaptive routing, plus the VC-aware verification."""
+
+import pytest
+
+from repro.routing import (
+    DatelineDimensionOrder,
+    DimensionOrder,
+    EscapeVCAdaptive,
+    WestFirst,
+)
+from repro.topology import Direction, KAryNCube, Mesh2D
+from repro.verification import (
+    verify_algorithm,
+    verify_escape_discipline,
+    verify_vc_algorithm,
+)
+
+
+class TestDateline:
+    def setup_method(self):
+        self.torus = KAryNCube(6, 2)
+        self.alg = DatelineDimensionOrder(self.torus)
+
+    def test_requires_torus(self):
+        with pytest.raises(ValueError):
+            DatelineDimensionOrder(Mesh2D(4, 4))
+
+    def test_requires_two_vcs(self):
+        with pytest.raises(ValueError):
+            self.alg.vc_candidates(0, 5, None, None, 1)
+
+    def test_routes_minimally_with_wraparound(self):
+        src = self.torus.node_at((5, 0))
+        dst = self.torus.node_at((1, 0))
+        cands = self.alg.candidates(src, dst)
+        assert len(cands) == 1
+        assert cands[0].sign == +1  # the short way is across the edge
+
+    def test_wrap_hop_uses_vc1(self):
+        src = self.torus.node_at((5, 0))
+        dst = self.torus.node_at((1, 0))
+        (direction, vc), = self.alg.vc_candidates(src, dst, None, None, 2)
+        assert vc == 1
+
+    def test_non_wrap_hop_uses_vc0(self):
+        src = self.torus.node_at((1, 0))
+        dst = self.torus.node_at((3, 0))
+        (direction, vc), = self.alg.vc_candidates(src, dst, None, None, 2)
+        assert vc == 0
+
+    def test_stays_on_vc1_after_crossing(self):
+        src = self.torus.node_at((0, 0))  # just crossed into column 0
+        dst = self.torus.node_at((2, 0))
+        heading = Direction(0, +1)
+        (direction, vc), = self.alg.vc_candidates(src, dst, heading, 1, 2)
+        assert vc == 1
+
+    def test_new_dimension_resets_to_vc0(self):
+        src = self.torus.node_at((2, 1))
+        dst = self.torus.node_at((2, 3))
+        heading = Direction(0, +1)  # finished x on vc1
+        (direction, vc), = self.alg.vc_candidates(src, dst, heading, 1, 2)
+        assert direction.dim == 1 and vc == 0
+
+    def test_vc_cdg_acyclic_with_two_vcs(self):
+        verdict = verify_vc_algorithm(self.alg, 2)
+        assert verdict.deadlock_free, verdict.cycle
+
+    def test_naive_torus_dimension_order_is_cyclic_without_vcs(self):
+        """Section 4.2's impossibility: the plain offsets-based
+        dimension-order relation deadlocks on the ring."""
+        naive = DimensionOrder(self.torus)
+        assert not verify_algorithm(naive).deadlock_free
+
+    @pytest.mark.parametrize("k,n", [(5, 2), (4, 3)])
+    def test_acyclic_across_shapes(self, k, n):
+        torus = KAryNCube(k, n)
+        verdict = verify_vc_algorithm(DatelineDimensionOrder(torus), 2)
+        assert verdict.deadlock_free
+
+
+class TestEscapeVC:
+    def setup_method(self):
+        self.mesh = Mesh2D(5, 5)
+        self.alg = EscapeVCAdaptive(self.mesh)
+
+    def test_requires_two_vcs(self):
+        with pytest.raises(ValueError):
+            self.alg.vc_candidates(0, 5, None, None, 1)
+
+    def test_offers_all_productive_directions_adaptively(self):
+        src, dst = self.mesh.node_xy(1, 1), self.mesh.node_xy(3, 3)
+        pairs = self.alg.vc_candidates(src, dst, None, None, 2)
+        adaptive = {(d.dim, d.sign) for d, vc in pairs if vc == 1}
+        assert adaptive == {(0, 1), (1, 1)}
+
+    def test_escape_candidate_always_present_and_last(self):
+        src, dst = self.mesh.node_xy(1, 1), self.mesh.node_xy(3, 3)
+        pairs = self.alg.vc_candidates(src, dst, None, None, 2)
+        assert pairs[-1][1] == 0
+        assert pairs[-1][0].dim == 0  # xy prefers the x dimension
+
+    def test_restricted_discipline_once_on_escape(self):
+        src, dst = self.mesh.node_xy(1, 1), self.mesh.node_xy(3, 3)
+        heading = Direction(0, +1)
+        pairs = self.alg.vc_candidates(src, dst, heading, 0, 2)
+        assert pairs == [(Direction(0, +1), 0)]
+
+    def test_cdg_is_cyclic_but_escape_discipline_verifies(self):
+        """The headline nuance: CDG acyclicity is sufficient, not
+        necessary.  The adaptive channels form cycles, yet the Duato
+        conditions hold."""
+        assert not verify_vc_algorithm(self.alg, 2).deadlock_free
+        verdict = verify_escape_discipline(self.alg, 2)
+        assert verdict.deadlock_free
+
+    def test_three_vcs_also_verify(self):
+        verdict = verify_escape_discipline(self.alg, 3)
+        assert verdict.deadlock_free
+
+    def test_escape_subnetwork_matches_xy(self):
+        """On the escape channel the relation is exactly xy routing."""
+        from repro.routing import XY
+
+        xy = XY(self.mesh)
+        for src in self.mesh.nodes():
+            for dst in self.mesh.nodes():
+                if src == dst:
+                    continue
+                pairs = self.alg.vc_candidates(
+                    src, dst, Direction(0, 1), 0, 2
+                )
+                assert [d for d, _ in pairs] == xy.candidates(src, dst)
+
+
+class TestDefaultVCBehaviour:
+    def test_vc_oblivious_algorithm_uses_any_vc(self):
+        mesh = Mesh2D(4, 4)
+        alg = WestFirst(mesh)
+        src, dst = mesh.node_xy(0, 0), mesh.node_xy(2, 2)
+        pairs = alg.vc_candidates(src, dst, None, None, 3)
+        dirs = {d for d, _ in pairs}
+        vcs = {vc for _, vc in pairs}
+        assert vcs == {0, 1, 2}
+        assert dirs == set(alg.candidates(src, dst))
+
+    def test_turn_model_algorithms_verify_with_extra_vcs(self):
+        """Extra channels never hurt a turn-model algorithm."""
+        mesh = Mesh2D(4, 4)
+        verdict = verify_vc_algorithm(WestFirst(mesh), 2)
+        assert verdict.deadlock_free

@@ -1,0 +1,91 @@
+"""Unit tests for the wait-for-graph deadlock diagnostics."""
+
+from repro.core import TurnModel
+from repro.routing import TurnRestrictedMinimal, XY
+from repro.simulation import (
+    SimulationConfig,
+    WormholeSimulator,
+    build_wait_for_graph,
+    detect_deadlock,
+)
+from repro.simulation.packet import PacketState
+from repro.topology import Mesh2D
+from repro.traffic import UniformPattern
+
+
+def quiet_sim(mesh, algorithm=None):
+    algorithm = algorithm or XY(mesh)
+    config = SimulationConfig(
+        offered_load=0.0, warmup_cycles=0, measure_cycles=1_000, seed=1
+    )
+    return WormholeSimulator(algorithm, UniformPattern(mesh), config)
+
+
+class TestWaitForGraph:
+    def test_empty_simulator_has_no_waits(self):
+        sim = quiet_sim(Mesh2D(4, 4))
+        report = detect_deadlock(sim)
+        assert not report.deadlocked
+        assert report.waiting_packets == 0
+        assert "no circular wait" in report.describe()
+
+    def test_single_blocked_packet_waits_on_holder(self):
+        mesh = Mesh2D(6, 6)
+        sim = quiet_sim(mesh)
+        blocker = sim.inject_packet(
+            mesh.node_xy(0, 0), mesh.node_xy(5, 0), 300, created=0
+        )
+        for _ in range(4):
+            sim.step()
+        victim = sim.inject_packet(
+            mesh.node_xy(2, 1), mesh.node_xy(5, 1), 10, created=sim.cycle
+        )
+        # xy keeps the victim on row 1, so it never conflicts; use a
+        # same-row victim instead.
+        victim2 = sim.inject_packet(
+            mesh.node_xy(1, 0), mesh.node_xy(4, 0), 10, created=sim.cycle
+        )
+        for _ in range(6):
+            sim.step()
+        graph = build_wait_for_graph(sim)
+        if victim2.state is PacketState.ROUTING:
+            assert graph.has_edge(victim2, blocker)
+        # No cycle: the blocker is not waiting on the victim.
+        assert not detect_deadlock(sim).deadlocked
+
+    def test_ejection_wait_edges(self):
+        mesh = Mesh2D(6, 6)
+        sim = quiet_sim(mesh)
+        dst = mesh.node_xy(3, 3)
+        first = sim.inject_packet(mesh.node_xy(0, 3), dst, 200, created=0)
+        second = sim.inject_packet(mesh.node_xy(3, 0), dst, 10, created=0)
+        for _ in range(12):
+            sim.step()
+        graph = build_wait_for_graph(sim)
+        if second.state is PacketState.EJECT_WAIT:
+            assert graph.has_edge(second, first)
+
+    def test_real_deadlock_produces_cycles(self):
+        mesh = Mesh2D(6, 6)
+        anything = TurnRestrictedMinimal(
+            mesh, TurnModel.from_prohibited("none", 2, set())
+        )
+        config = SimulationConfig(
+            offered_load=8.0,
+            warmup_cycles=0,
+            measure_cycles=30_000,
+            deadlock_threshold=1_200,
+            seed=3,
+        )
+        sim = WormholeSimulator(anything, UniformPattern(mesh), config)
+        result = sim.run()
+        assert result.deadlock
+        report = detect_deadlock(sim)
+        assert report.deadlocked
+        # Every reported cycle is a genuine closed chain of waits.
+        graph = build_wait_for_graph(sim)
+        for cycle in report.cycles:
+            for packet in cycle:
+                assert packet.in_network
+        assert report.blocked_packets >= len(report.cycles[0])
+        assert "circular wait" in report.describe()

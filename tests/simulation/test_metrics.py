@@ -1,0 +1,100 @@
+"""Unit tests for SimulationResult metrics and the sustainability rule."""
+
+import pytest
+
+from repro.simulation import SimulationResult
+
+
+def make_result(**overrides):
+    defaults = dict(
+        algorithm="xy",
+        pattern="uniform",
+        offered_load=1.0,
+        num_nodes=256,
+        active_sources=256,
+        measure_cycles=10_000,
+        cycle_time_us=0.05,
+    )
+    defaults.update(overrides)
+    return SimulationResult(**defaults)
+
+
+class TestLatency:
+    def test_no_deliveries_means_no_latency(self):
+        result = make_result()
+        assert result.avg_latency_us is None
+        assert result.avg_network_latency_us is None
+        assert result.avg_hops is None
+
+    def test_latency_conversion_to_microseconds(self):
+        result = make_result()
+        result.delivered_packets = 4
+        result.total_latency_cycles = 800
+        assert result.avg_latency_us == pytest.approx(800 / 4 * 0.05)
+
+    def test_network_latency_excludes_queueing(self):
+        result = make_result()
+        result.delivered_packets = 2
+        result.total_latency_cycles = 1000
+        result.total_net_latency_cycles = 400
+        assert result.avg_network_latency_us < result.avg_latency_us
+
+
+class TestThroughput:
+    def test_aggregate_throughput(self):
+        result = make_result()
+        result.delivered_flits = 50_000
+        assert result.measure_time_us == pytest.approx(500.0)
+        assert result.throughput_flits_per_us == pytest.approx(100.0)
+        assert result.throughput_per_node == pytest.approx(100.0 / 256)
+
+    def test_offered_aggregate(self):
+        result = make_result(offered_load=2.0, active_sources=240)
+        assert result.offered_flits_per_us == pytest.approx(480.0)
+
+
+class TestSustainability:
+    def test_flat_backlog_is_sustainable(self):
+        result = make_result()
+        result.backlog_samples = [10] * 40
+        assert result.backlog_growth == 0
+        assert result.sustainable
+
+    def test_growing_backlog_is_not(self):
+        result = make_result()
+        result.backlog_samples = list(range(0, 4000, 100))
+        assert result.backlog_growth > 0.2 * 256
+        assert not result.sustainable
+
+    def test_small_growth_tolerated(self):
+        result = make_result()
+        result.backlog_samples = [0] * 20 + [5] * 20
+        assert result.sustainable
+
+    def test_deadlock_is_never_sustainable(self):
+        result = make_result()
+        result.backlog_samples = [0] * 40
+        result.deadlock = True
+        assert not result.sustainable
+
+    def test_few_samples_default_to_zero_growth(self):
+        result = make_result()
+        result.backlog_samples = [3]
+        assert result.backlog_growth == 0.0
+
+
+class TestSummary:
+    def test_summary_marks_unsustainable(self):
+        result = make_result()
+        result.backlog_samples = list(range(0, 8000, 100))
+        assert "unsustainable" in result.summary()
+
+    def test_summary_marks_deadlock(self):
+        result = make_result()
+        result.deadlock = True
+        result.deadlock_cycle = 123
+        assert "DEADLOCK" in result.summary()
+        assert "123" in result.summary()
+
+    def test_summary_without_latency(self):
+        assert "n/a" in make_result().summary()

@@ -1,0 +1,59 @@
+"""Unit tests for Packet and ChannelHold state."""
+
+from repro.simulation import ChannelHold, Packet, PacketState
+
+
+class TestPacket:
+    def test_initial_state(self):
+        p = Packet(pid=1, src=0, dst=5, length=10, created=100)
+        assert p.state is PacketState.QUEUED
+        assert not p.in_network
+        assert p.flits_in_network == 0
+        assert p.head_node == 0
+        assert p.injected is None and p.delivered is None
+        assert p.header_wait_since == 100
+
+    def test_in_network_states(self):
+        p = Packet(1, 0, 5, 10, 0)
+        for state in (
+            PacketState.ROUTING,
+            PacketState.MOVING,
+            PacketState.EJECT_WAIT,
+            PacketState.EJECTING,
+        ):
+            p.state = state
+            assert p.in_network
+        p.state = PacketState.DELIVERED
+        assert not p.in_network
+
+    def test_flits_in_network_accounting(self):
+        p = Packet(1, 0, 5, 10, 0)
+        p.launched = 7
+        p.ejected = 3
+        assert p.flits_in_network == 4
+
+    def test_repr_mentions_route(self):
+        p = Packet(9, 3, 4, 200, 0)
+        text = repr(p)
+        assert "#9" in text and "3->4" in text and "200" in text
+
+
+class TestChannelHold:
+    def test_initial(self):
+        h = ChannelHold(17)
+        assert h.channel_id == 17
+        assert h.moved == 0 and h.buffered == 0
+
+    def test_slots_prevent_arbitrary_attributes(self):
+        h = ChannelHold(0)
+        try:
+            h.extra = 1
+        except AttributeError:
+            pass
+        else:
+            raise AssertionError("ChannelHold should use __slots__")
+
+    def test_repr(self):
+        h = ChannelHold(3)
+        h.moved, h.buffered = 5, 1
+        assert "ch=3" in repr(h)

@@ -1,0 +1,232 @@
+"""Flit-level semantics of the wormhole simulator, checked against
+hand-computed timings on small deterministic scenarios.
+
+Key facts encoded here (Section 1 of the paper): wormhole latency is
+proportional to the *sum* of packet length and distance — in this
+simulator exactly ``distance + length - 1`` cycles for an uncontended
+packet — and a blocked worm holds its chain of channels in place.
+"""
+
+import pytest
+
+from repro.routing import XY
+from repro.simulation import (
+    PacketState,
+    SimulationConfig,
+    WormholeSimulator,
+)
+from repro.topology import Mesh2D
+from repro.traffic import UniformPattern
+
+
+def quiet_config(**overrides):
+    """No background traffic; packets are injected by hand."""
+    defaults = dict(
+        offered_load=0.0,
+        warmup_cycles=0,
+        measure_cycles=1_000,
+        seed=1,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def make_sim(mesh=None, **overrides):
+    mesh = mesh or Mesh2D(8, 8)
+    return WormholeSimulator(
+        XY(mesh), UniformPattern(mesh), quiet_config(**overrides)
+    )
+
+
+def run_until_delivered(sim, packet, limit=10_000):
+    while packet.state is not PacketState.DELIVERED:
+        sim.step()
+        if sim.cycle > limit:
+            raise AssertionError(f"{packet} not delivered within {limit} cycles")
+    return packet
+
+
+class TestSinglePacketTiming:
+    @pytest.mark.parametrize(
+        "src_xy,dst_xy,length",
+        [((0, 0), (3, 0), 1), ((0, 0), (3, 0), 10), ((1, 1), (5, 4), 7),
+         ((0, 0), (7, 7), 200)],
+    )
+    def test_uncontended_latency_is_distance_plus_length_minus_one(
+        self, src_xy, dst_xy, length
+    ):
+        mesh = Mesh2D(8, 8)
+        sim = make_sim(mesh)
+        src, dst = mesh.node_at(src_xy), mesh.node_at(dst_xy)
+        packet = sim.inject_packet(src, dst, length, created=0)
+        run_until_delivered(sim, packet)
+        hops = mesh.distance(src, dst)
+        assert packet.delivered - packet.created == hops + length - 1
+        assert packet.hops == hops
+
+    def test_flit_conservation(self):
+        mesh = Mesh2D(8, 8)
+        sim = make_sim(mesh)
+        packet = sim.inject_packet(0, 63, 50, created=0)
+        run_until_delivered(sim, packet)
+        assert packet.launched == packet.ejected == 50
+        assert packet.flits_in_network == 0
+        assert packet.holds == []
+
+    def test_all_channels_released_after_delivery(self):
+        mesh = Mesh2D(8, 8)
+        sim = make_sim(mesh)
+        packet = sim.inject_packet(0, 63, 30, created=0)
+        run_until_delivered(sim, packet)
+        assert all(owner is None for owner in sim.channel_alloc)
+        assert all(owner is None for owner in sim.ejection_alloc)
+        assert all(owner is None for owner in sim.injection_busy)
+
+    def test_worm_occupies_a_contiguous_channel_chain(self):
+        mesh = Mesh2D(8, 8)
+        sim = make_sim(mesh)
+        packet = sim.inject_packet(0, 7, 200, created=0)
+        for _ in range(5):
+            sim.step()
+        held = [sim.channels[h.channel_id] for h in packet.holds]
+        assert [c.src for c in held[1:]] == [c.dst for c in held[:-1]]
+        # With single-flit buffers each held channel buffers at most 1 flit.
+        assert all(h.buffered <= 1 for h in packet.holds)
+
+
+class TestPipelining:
+    def test_short_packet_frees_tail_channels_while_head_advances(self):
+        """A 2-flit worm on a long path holds at most ~2 channels."""
+        mesh = Mesh2D(8, 8)
+        sim = make_sim(mesh)
+        packet = sim.inject_packet(0, 7, 2, created=0)
+        max_held = 0
+        while packet.state is not PacketState.DELIVERED:
+            sim.step()
+            max_held = max(max_held, len(packet.holds))
+        assert max_held <= 3
+
+    def test_long_packet_stretches_over_whole_path(self):
+        mesh = Mesh2D(8, 8)
+        sim = make_sim(mesh)
+        packet = sim.inject_packet(0, 7, 200, created=0)
+        seen_full_stretch = False
+        while packet.state is not PacketState.DELIVERED:
+            sim.step()
+            if len(packet.holds) == 7:
+                seen_full_stretch = True
+        assert seen_full_stretch
+
+
+class TestBlockingAndRelease:
+    def test_blocked_worm_holds_channels(self):
+        """A long packet blocks a crossing packet until its tail drains."""
+        mesh = Mesh2D(8, 8)
+        sim = make_sim(mesh)
+        # Blocker: long worm along row 1 (xy routing keeps it horizontal).
+        blocker = sim.inject_packet(
+            mesh.node_xy(0, 1), mesh.node_xy(7, 1), 150, created=0
+        )
+        for _ in range(6):
+            sim.step()
+        # Crosser: needs the vertical channel at (3,1) after one x-hop...
+        # xy routes it east along row 0 then north through the column that
+        # the blocker does NOT occupy; instead send it up column 3 across
+        # row 1: from (3,0) to (3,3) the column channel at (3,1) is free -
+        # the blocker holds only horizontal channels, so it must NOT block.
+        crosser = sim.inject_packet(
+            mesh.node_xy(3, 0), mesh.node_xy(3, 3), 5, created=sim.cycle
+        )
+        run_until_delivered(sim, crosser)
+        assert blocker.state is not PacketState.DELIVERED
+        run_until_delivered(sim, blocker)
+
+    def test_head_on_channel_contention_serialises(self):
+        """Two packets that need the same channel share it one at a time."""
+        mesh = Mesh2D(8, 8)
+        sim = make_sim(mesh)
+        first = sim.inject_packet(
+            mesh.node_xy(0, 0), mesh.node_xy(4, 0), 60, created=0
+        )
+        sim.step()  # let the first packet grab the row
+        second = sim.inject_packet(
+            mesh.node_xy(1, 0), mesh.node_xy(5, 0), 10, created=sim.cycle
+        )
+        run_until_delivered(sim, second)
+        run_until_delivered(sim, first)
+        # The second packet needed channels held by the first, so it must
+        # have been delivered after the first released them.
+        assert second.delivered > first.created + 60
+
+    def test_ejection_contention_serialises(self):
+        """One ejection channel per node: simultaneous arrivals queue."""
+        mesh = Mesh2D(8, 8)
+        sim = make_sim(mesh)
+        dst = mesh.node_xy(4, 4)
+        a = sim.inject_packet(mesh.node_xy(0, 4), dst, 40, created=0)
+        b = sim.inject_packet(mesh.node_xy(4, 0), dst, 40, created=0)
+        run_until_delivered(sim, a)
+        run_until_delivered(sim, b)
+        # 40 flits at 1 flit/cycle each: the two drains cannot overlap.
+        assert abs(a.delivered - b.delivered) >= 40
+
+
+class TestInjectionSerialisation:
+    def test_second_message_waits_for_first_tail_to_launch(self):
+        mesh = Mesh2D(8, 8)
+        sim = make_sim(mesh)
+        first = sim.inject_packet(0, 7, 100, created=0)
+        second = sim.inject_packet(0, 56, 10, created=0)
+        run_until_delivered(sim, second)
+        # The second header cannot leave before the first tail has
+        # launched (100 flits at 1 flit/cycle).
+        assert second.injected >= 100
+
+    def test_source_queue_backlog_tracked(self):
+        mesh = Mesh2D(8, 8)
+        sim = make_sim(mesh)
+        sim.inject_packet(0, 7, 100, created=0)
+        sim.inject_packet(0, 56, 10, created=0)
+        sim.inject_packet(0, 57, 10, created=0)
+        sim.step()
+        # One launching, two still queued.
+        assert sim.queues[0] and len(sim.queues[0]) == 2
+
+
+class TestBufferDepth:
+    def test_deeper_buffers_compress_a_blocked_worm(self):
+        """When the head blocks, flits pile up to the buffer depth, so the
+        worm needs fewer channels to park its body."""
+        mesh = Mesh2D(8, 8)
+        launched = {}
+        for depth in (1, 4):
+            sim = make_sim(mesh, buffer_depth=depth)
+            # Blocker parks across row 0 and cannot finish (its own head
+            # keeps streaming, so it holds the row for a long time).
+            blocker = sim.inject_packet(
+                mesh.node_xy(2, 0), mesh.node_xy(7, 0), 400, created=0
+            )
+            sim.step()
+            victim = sim.inject_packet(
+                mesh.node_xy(0, 0), mesh.node_xy(4, 0), 12, created=sim.cycle
+            )
+            for _ in range(40):
+                sim.step()
+            assert victim.state is not PacketState.DELIVERED
+            launched[depth] = victim.launched
+            max_fill = max((h.buffered for h in victim.holds), default=0)
+            assert max_fill <= depth
+            if depth > 1:
+                assert max_fill > 1
+        # The blocked victim holds two channels either way, but four-deep
+        # buffers park four times the flits off the source.
+        assert launched[1] == 2
+        assert launched[4] == 8
+
+    def test_latency_unchanged_by_buffer_depth_without_contention(self):
+        mesh = Mesh2D(8, 8)
+        for depth in (1, 2, 8):
+            sim = make_sim(mesh, buffer_depth=depth)
+            packet = sim.inject_packet(0, 63, 30, created=0)
+            run_until_delivered(sim, packet)
+            assert packet.delivered == mesh.distance(0, 63) + 30 - 1

@@ -1,0 +1,54 @@
+"""Public-API hygiene: every declared export resolves, in every
+subpackage."""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro",
+    "repro.topology",
+    "repro.core",
+    "repro.routing",
+    "repro.verification",
+    "repro.simulation",
+    "repro.traffic",
+    "repro.analysis",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_exports_resolve(self, name):
+        module = importlib.import_module(name)
+        assert hasattr(module, "__all__"), name
+        for export in module.__all__:
+            assert getattr(module, export, None) is not None, (
+                f"{name}.{export} missing"
+            )
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_is_sorted(self, name):
+        module = importlib.import_module(name)
+        assert list(module.__all__) == sorted(module.__all__), name
+
+    def test_version_matches_pyproject(self):
+        import os
+        import repro
+
+        root = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        )
+        with open(os.path.join(root, "pyproject.toml")) as fh:
+            content = fh.read()
+        assert f'version = "{repro.__version__}"' in content
+
+    def test_key_paper_names_at_top_level(self):
+        import repro
+
+        for name in (
+            "TurnModel", "WestFirst", "NorthLast", "NegativeFirst",
+            "PCube", "XY", "ECube", "WormholeSimulator",
+            "verify_algorithm",
+        ):
+            assert name in repro.__all__

@@ -1,0 +1,76 @@
+"""Tests for the ASCII rendering helpers."""
+
+import pytest
+
+from repro.core import TurnModel, west_first_numbering
+from repro.routing import WestFirst, XY, walk
+from repro.topology import EAST, Mesh2D
+from repro.viz import (
+    render_channel_numbering,
+    render_mesh_paths,
+    render_turn_set,
+)
+
+
+class TestRenderMeshPaths:
+    def test_marks_endpoints(self):
+        mesh = Mesh2D(4, 4)
+        path = walk(XY(mesh), mesh.node_xy(0, 0), mesh.node_xy(3, 3))
+        art = render_mesh_paths(mesh, [path])
+        assert "S" in art and "D" in art
+        assert art.count("S") == 1 and art.count("D") == 1
+
+    def test_arrow_count_equals_hops(self):
+        mesh = Mesh2D(5, 5)
+        path = walk(XY(mesh), mesh.node_xy(0, 0), mesh.node_xy(4, 2))
+        art = render_mesh_paths(mesh, [path])
+        arrows = sum(art.count(a) for a in "<>^v")
+        assert arrows == len(path) - 1
+
+    def test_north_is_printed_first(self):
+        mesh = Mesh2D(3, 3)
+        path = walk(XY(mesh), mesh.node_xy(0, 0), mesh.node_xy(0, 2))
+        art = render_mesh_paths(mesh, [path])
+        lines = [l for l in art.splitlines() if l.strip()]
+        # The destination (north) appears before the source (south).
+        assert lines[0].startswith("D")
+        assert lines[-1].startswith("S")
+
+    def test_shared_edges_marked(self):
+        mesh = Mesh2D(4, 4)
+        a = walk(XY(mesh), mesh.node_xy(0, 0), mesh.node_xy(3, 0))
+        b = walk(XY(mesh), mesh.node_xy(1, 0), mesh.node_xy(3, 0))
+        art = render_mesh_paths(mesh, [a, b])
+        assert "*" in art
+
+    def test_labels_included(self):
+        mesh = Mesh2D(3, 3)
+        path = walk(XY(mesh), 0, 8)
+        art = render_mesh_paths(mesh, [path], labels=["hello"])
+        assert "path 1: hello" in art
+
+
+class TestRenderTurnSet:
+    def test_west_first_rendering(self):
+        art = render_turn_set(TurnModel.west_first())
+        assert "travelling south" in art
+        assert "prohibited: west" in art
+        assert "2/8" in art
+
+    def test_xy_rendering(self):
+        art = render_turn_set(TurnModel.xy())
+        assert "4/8" in art
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            render_turn_set(TurnModel.negative_first(3))
+
+
+class TestRenderNumbering:
+    def test_eastward_numbers_grid(self):
+        mesh = Mesh2D(4, 4)
+        numbering = west_first_numbering(mesh)
+        art = render_channel_numbering(mesh, numbering, EAST)
+        assert "east" in art
+        # One row per mesh row plus the header.
+        assert len(art.splitlines()) == 5

@@ -1,0 +1,78 @@
+"""Tests for the shared topology abstractions (Direction, Channel, ids)."""
+
+import pytest
+
+from repro.topology import (
+    COMPASS_NAMES,
+    Direction,
+    EAST,
+    NORTH,
+    SOUTH,
+    WEST,
+    all_directions,
+)
+from repro.topology.base import Channel
+
+
+class TestDirection:
+    def test_compass_constants_match_paper_conventions(self):
+        assert WEST == Direction(0, -1)
+        assert EAST == Direction(0, +1)
+        assert SOUTH == Direction(1, -1)
+        assert NORTH == Direction(1, +1)
+
+    def test_compass_names(self):
+        assert COMPASS_NAMES[WEST] == "west"
+        assert COMPASS_NAMES[NORTH] == "north"
+
+    def test_opposite_is_involution(self):
+        for d in all_directions(4):
+            assert d.opposite.opposite == d
+            assert d.opposite.dim == d.dim
+            assert d.opposite.sign == -d.sign
+
+    def test_sign_predicates(self):
+        assert WEST.is_negative and not WEST.is_positive
+        assert EAST.is_positive and not EAST.is_negative
+
+    def test_invalid_sign_rejected(self):
+        with pytest.raises(ValueError):
+            Direction(0, 0)
+        with pytest.raises(ValueError):
+            Direction(0, 2)
+
+    def test_invalid_dim_rejected(self):
+        with pytest.raises(ValueError):
+            Direction(-1, 1)
+
+    def test_ordering_is_dim_then_sign(self):
+        dirs = sorted([NORTH, EAST, WEST, SOUTH])
+        assert dirs == [WEST, EAST, SOUTH, NORTH]
+
+    def test_all_directions_count(self):
+        for n in range(1, 6):
+            assert len(all_directions(n)) == 2 * n
+
+    def test_direction_is_hashable_and_interns_equal(self):
+        assert len({Direction(2, 1), Direction(2, 1)}) == 1
+
+    def test_repr(self):
+        assert repr(WEST) == "-d0"
+        assert repr(NORTH) == "+d1"
+
+
+class TestChannel:
+    def test_channel_fields(self):
+        ch = Channel(src=3, dst=4, direction=EAST)
+        assert ch.src == 3 and ch.dst == 4
+        assert not ch.wraparound
+
+    def test_channel_hashable(self):
+        a = Channel(0, 1, EAST)
+        b = Channel(0, 1, EAST)
+        assert a == b and len({a, b}) == 1
+
+    def test_wraparound_flag_distinguishes(self):
+        a = Channel(0, 1, EAST)
+        b = Channel(0, 1, EAST, wraparound=True)
+        assert a != b

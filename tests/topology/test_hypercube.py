@@ -1,0 +1,87 @@
+"""Tests for the binary hypercube."""
+
+import pytest
+
+from repro.topology import Direction, Hypercube
+
+
+class TestHypercube:
+    def test_node_count(self):
+        assert Hypercube(8).num_nodes == 256
+        assert Hypercube(3).num_nodes == 8
+
+    def test_every_node_has_n_neighbors(self):
+        h = Hypercube(4)
+        for node in h.nodes():
+            degree = sum(
+                1 for d in h.directions() if h.neighbor(node, d) is not None
+            )
+            assert degree == 4
+
+    def test_neighbor_flips_one_bit(self):
+        h = Hypercube(5)
+        for node in h.nodes():
+            for d in h.directions():
+                nbr = h.neighbor(node, d)
+                if nbr is not None:
+                    assert bin(node ^ nbr).count("1") == 1
+                    assert (node ^ nbr) == 1 << d.dim
+
+    def test_direction_sign_encodes_bit_transition(self):
+        h = Hypercube(3)
+        # From a 0 bit only the positive direction exists; from a 1 bit
+        # only the negative one.
+        assert h.neighbor(0b000, Direction(1, +1)) == 0b010
+        assert h.neighbor(0b000, Direction(1, -1)) is None
+        assert h.neighbor(0b010, Direction(1, -1)) == 0b000
+        assert h.neighbor(0b010, Direction(1, +1)) is None
+
+    def test_distance_is_hamming(self):
+        h = Hypercube(8)
+        assert h.distance(0b10110101, 0b00101110) == h.hamming(
+            0b10110101, 0b00101110
+        )
+        assert h.distance(0, 255) == 8
+
+    def test_bits_roundtrip(self):
+        h = Hypercube(6)
+        for node in h.nodes():
+            assert h.node_from_bits(h.bits(node)) == node
+
+    def test_bits_are_little_endian_coordinates(self):
+        h = Hypercube(4)
+        assert h.bits(0b0001) == (1, 0, 0, 0)
+        assert h.bits(0b1000) == (0, 0, 0, 1)
+
+    def test_address_str_matches_paper_notation(self):
+        h = Hypercube(10)
+        node = h.node_from_address_str("1011010100")
+        assert h.address_str(node) == "1011010100"
+        # Flipping dimension 2 changes the third character from the right,
+        # as in the Section 5 table.
+        flipped = node ^ (1 << 2)
+        assert h.address_str(flipped) == "1011010000"
+
+    def test_address_str_validation(self):
+        h = Hypercube(4)
+        with pytest.raises(ValueError):
+            h.node_from_address_str("10101")
+        with pytest.raises(ValueError):
+            h.node_from_address_str("10x1")
+
+    def test_differing_dimensions(self):
+        h = Hypercube(8)
+        assert h.differing_dimensions(0b1010, 0b0110) == [2, 3]
+        assert h.differing_dimensions(5, 5) == []
+
+    def test_channel_count(self):
+        h = Hypercube(8)
+        # n * 2^n unidirectional channels.
+        assert h.num_channels() == 8 * 256
+
+    def test_bits_validation(self):
+        h = Hypercube(3)
+        with pytest.raises(ValueError):
+            h.node_from_bits((0, 1))
+        with pytest.raises(ValueError):
+            h.node_from_bits((0, 1, 2))

@@ -1,0 +1,128 @@
+"""Tests for n-dimensional meshes and the 2D specialisation."""
+
+import pytest
+
+from repro.topology import Direction, EAST, Mesh, Mesh2D, NORTH, SOUTH, WEST, mesh
+
+
+class TestMesh2D:
+    def test_node_count(self):
+        assert Mesh2D(16, 16).num_nodes == 256
+        assert Mesh2D(4, 3).num_nodes == 12
+
+    def test_square_default(self):
+        m = Mesh2D(5)
+        assert m.dims == (5, 5)
+
+    def test_coords_roundtrip(self):
+        m = Mesh2D(7, 3)
+        for node in m.nodes():
+            assert m.node_at(m.coords(node)) == node
+
+    def test_id_layout_x_fastest(self):
+        m = Mesh2D(4, 4)
+        assert m.node_xy(0, 0) == 0
+        assert m.node_xy(1, 0) == 1
+        assert m.node_xy(0, 1) == 4
+        assert m.xy(5) == (1, 1)
+
+    def test_neighbors_interior(self):
+        m = Mesh2D(4, 4)
+        node = m.node_xy(1, 1)
+        assert m.neighbor(node, EAST) == m.node_xy(2, 1)
+        assert m.neighbor(node, WEST) == m.node_xy(0, 1)
+        assert m.neighbor(node, NORTH) == m.node_xy(1, 2)
+        assert m.neighbor(node, SOUTH) == m.node_xy(1, 0)
+
+    def test_edges_have_no_neighbor(self):
+        m = Mesh2D(4, 4)
+        assert m.neighbor(m.node_xy(0, 0), WEST) is None
+        assert m.neighbor(m.node_xy(0, 0), SOUTH) is None
+        assert m.neighbor(m.node_xy(3, 3), EAST) is None
+        assert m.neighbor(m.node_xy(3, 3), NORTH) is None
+
+    def test_channel_count(self):
+        # m x n mesh: (m-1)*n horizontal pairs + m*(n-1) vertical pairs,
+        # two unidirectional channels each.
+        m = Mesh2D(16, 16)
+        assert m.num_channels() == 2 * (15 * 16 + 16 * 15)
+
+    def test_channels_never_wraparound(self):
+        assert not any(c.wraparound for c in Mesh2D(3, 3).channels())
+
+    def test_distance_is_manhattan(self):
+        m = Mesh2D(8, 8)
+        assert m.distance(m.node_xy(0, 0), m.node_xy(7, 7)) == 14
+        assert m.distance(m.node_xy(3, 4), m.node_xy(3, 4)) == 0
+        assert m.distance(m.node_xy(2, 5), m.node_xy(5, 1)) == 7
+
+    def test_productive_directions(self):
+        m = Mesh2D(8, 8)
+        src, dst = m.node_xy(4, 4), m.node_xy(2, 6)
+        assert m.productive_directions(src, dst) == [WEST, NORTH]
+        assert m.productive_directions(src, src) == []
+
+    def test_channel_lookup(self):
+        m = Mesh2D(4, 4)
+        ch = m.channel(m.node_xy(1, 1), EAST)
+        assert ch is not None
+        assert ch.dst == m.node_xy(2, 1)
+        assert m.channel(m.node_xy(3, 1), EAST) is None
+
+
+class TestMeshND:
+    def test_3d_neighbor_arithmetic(self):
+        m = Mesh((3, 4, 5))
+        node = m.node_at((1, 2, 3))
+        assert m.coords(m.neighbor(node, Direction(2, +1))) == (1, 2, 4)
+        assert m.coords(m.neighbor(node, Direction(0, -1))) == (0, 2, 3)
+
+    def test_boundary_in_each_dimension(self):
+        m = Mesh((3, 3, 3))
+        corner = m.node_at((0, 0, 0))
+        for dim in range(3):
+            assert m.neighbor(corner, Direction(dim, -1)) is None
+            assert m.neighbor(corner, Direction(dim, +1)) is not None
+
+    def test_channel_count_formula(self):
+        # For dims (k0..kn-1): channels = 2 * sum_i (k_i - 1) * prod_{j!=i} k_j
+        m = Mesh((3, 4, 5))
+        expected = 2 * ((3 - 1) * 20 + (4 - 1) * 15 + (5 - 1) * 12)
+        assert m.num_channels() == expected
+
+    def test_distance_multidim(self):
+        m = Mesh((5, 5, 5))
+        assert m.distance(m.node_at((0, 0, 0)), m.node_at((4, 3, 2))) == 9
+
+    def test_degree_bounds(self):
+        # Every node has between n and 2n neighbours (Section 1).
+        m = Mesh((3, 3, 3))
+        for node in m.nodes():
+            degree = sum(
+                1 for d in m.directions() if m.neighbor(node, d) is not None
+            )
+            assert 3 <= degree <= 6
+
+    def test_dimension_length_must_be_at_least_two(self):
+        with pytest.raises(ValueError):
+            Mesh((1, 4))
+        with pytest.raises(ValueError):
+            Mesh(())
+
+    def test_out_of_range_direction_rejected(self):
+        m = Mesh((3, 3))
+        with pytest.raises(ValueError):
+            m.neighbor(0, Direction(2, +1))
+
+    def test_mesh_factory_specialises_2d(self):
+        assert isinstance(mesh((4, 4)), Mesh2D)
+        assert not isinstance(mesh((4, 4, 4)), Mesh2D)
+
+    def test_coords_out_of_range(self):
+        m = Mesh((3, 3))
+        with pytest.raises(ValueError):
+            m.coords(9)
+        with pytest.raises(ValueError):
+            m.node_at((3, 0))
+        with pytest.raises(ValueError):
+            m.node_at((0, 0, 0))

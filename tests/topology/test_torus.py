@@ -1,0 +1,81 @@
+"""Tests for k-ary n-cubes (tori)."""
+
+import pytest
+
+from repro.topology import Direction, EAST, KAryNCube, WEST
+
+
+class TestKAryNCube:
+    def test_node_count(self):
+        assert KAryNCube(4, 2).num_nodes == 16
+        assert KAryNCube(3, 3).num_nodes == 27
+
+    def test_every_node_has_2n_neighbors_when_k_gt_2(self):
+        t = KAryNCube(4, 2)
+        for node in t.nodes():
+            degree = sum(
+                1 for d in t.directions() if t.neighbor(node, d) is not None
+            )
+            assert degree == 4
+
+    def test_wraparound_neighbors(self):
+        t = KAryNCube(5, 2)
+        west_edge = t.node_at((0, 2))
+        east_edge = t.node_at((4, 2))
+        assert t.neighbor(west_edge, WEST) == east_edge
+        assert t.neighbor(east_edge, EAST) == west_edge
+
+    def test_wraparound_flags(self):
+        t = KAryNCube(5, 2)
+        wrap = t.wraparound_channels()
+        mesh_chs = t.mesh_channels()
+        # 2 wraparound channels per ring, k rings... per dimension: k rings
+        # of the other dimension, 2 directions.
+        assert len(wrap) == 2 * 5 * 2
+        assert len(wrap) + len(mesh_chs) == t.num_channels()
+        assert all(c.wraparound for c in wrap)
+        assert all(not c.wraparound for c in mesh_chs)
+
+    def test_channel_count_is_2n_per_node(self):
+        t = KAryNCube(5, 2)
+        assert t.num_channels() == t.num_nodes * 4
+
+    def test_offset_uses_shortest_way_around(self):
+        t = KAryNCube(8, 1)
+        assert t.offset(t.node_at((0,)), t.node_at((3,)), 0) == 3
+        assert t.offset(t.node_at((0,)), t.node_at((5,)), 0) == -3
+        assert t.offset(t.node_at((0,)), t.node_at((7,)), 0) == -1
+
+    def test_offset_tie_breaks_positive_for_even_k(self):
+        t = KAryNCube(8, 1)
+        assert t.offset(t.node_at((0,)), t.node_at((4,)), 0) == 4
+
+    def test_distance_with_wraparound(self):
+        t = KAryNCube(8, 2)
+        assert t.distance(t.node_at((0, 0)), t.node_at((7, 7))) == 2
+        assert t.distance(t.node_at((0, 0)), t.node_at((4, 4))) == 8
+
+    def test_radix_two_matches_hypercube_degree(self):
+        t = KAryNCube(2, 4)
+        for node in t.nodes():
+            degree = sum(
+                1 for d in t.directions() if t.neighbor(node, d) is not None
+            )
+            assert degree == 4  # n neighbours when k == 2 (Section 1)
+
+    def test_radix_two_offsets_are_plain_differences(self):
+        t = KAryNCube(2, 2)
+        assert t.offset(t.node_at((0, 0)), t.node_at((1, 1)), 0) == 1
+        assert t.offset(t.node_at((1, 1)), t.node_at((0, 0)), 0) == -1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            KAryNCube(1, 2)
+        with pytest.raises(ValueError):
+            KAryNCube(4, 0)
+
+    def test_productive_directions_wrap(self):
+        t = KAryNCube(8, 2)
+        src, dst = t.node_at((7, 0)), t.node_at((1, 0))
+        # Shortest way is eastward across the wraparound.
+        assert t.productive_directions(src, dst) == [EAST]

@@ -1,0 +1,235 @@
+"""Tests for the traffic patterns, including the paper's exact average
+path lengths (Section 6)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.topology import Hypercube, Mesh2D
+from repro.traffic import (
+    BitComplementPattern,
+    HotspotPattern,
+    HypercubeTransposePattern,
+    MeshTransposePattern,
+    PermutationPattern,
+    ReverseFlipPattern,
+    UniformPattern,
+    uniform_average_hops,
+)
+
+
+class TestUniform:
+    def test_never_self(self):
+        mesh = Mesh2D(4, 4)
+        pattern = UniformPattern(mesh)
+        rng = random.Random(0)
+        for _ in range(2000):
+            src = rng.randrange(16)
+            assert pattern.dest(src, rng) != src
+
+    def test_all_destinations_reachable(self):
+        mesh = Mesh2D(4, 4)
+        pattern = UniformPattern(mesh)
+        rng = random.Random(0)
+        seen = {pattern.dest(5, rng) for _ in range(3000)}
+        assert seen == set(range(16)) - {5}
+
+    def test_roughly_uniform(self):
+        mesh = Mesh2D(4, 4)
+        pattern = UniformPattern(mesh)
+        rng = random.Random(1)
+        counts = {}
+        n = 15000
+        for _ in range(n):
+            d = pattern.dest(0, rng)
+            counts[d] = counts.get(d, 0) + 1
+        expected = n / 15
+        assert all(abs(c - expected) < expected * 0.3 for c in counts.values())
+
+    def test_every_node_active(self):
+        mesh = Mesh2D(4, 4)
+        assert UniformPattern(mesh).active_sources(mesh) == list(range(16))
+
+
+class TestMeshTranspose:
+    def test_mapping(self):
+        mesh = Mesh2D(16, 16)
+        pattern = MeshTransposePattern(mesh)
+        rng = random.Random(0)
+        src = mesh.node_at((3, 11))
+        assert pattern.dest(src, rng) == mesh.node_at((11, 3))
+
+    def test_diagonal_inactive(self):
+        mesh = Mesh2D(16, 16)
+        pattern = MeshTransposePattern(mesh)
+        assert len(pattern.active_sources(mesh)) == 240
+
+    def test_requires_square_mesh(self):
+        with pytest.raises(ValueError):
+            MeshTransposePattern(Mesh2D(4, 8))
+
+    def test_paper_average_path_length(self):
+        """Section 6: 11.34 hops for transpose in the 16x16 mesh."""
+        mesh = Mesh2D(16, 16)
+        avg = MeshTransposePattern(mesh).average_hops()
+        assert avg == Fraction(34, 3)  # 11.333...
+        assert float(avg) == pytest.approx(11.34, abs=0.01)
+
+    def test_is_an_involution(self):
+        mesh = Mesh2D(8, 8)
+        pattern = MeshTransposePattern(mesh)
+        rng = random.Random(0)
+        for src in pattern.active_sources(mesh):
+            dst = pattern.dest(src, rng)
+            assert pattern.dest(dst, rng) == src
+
+
+class TestHypercubeTranspose:
+    def test_paper_formula_for_8_cube(self):
+        """(x0..x7) -> (~x4, x5, x6, x7, ~x0, x1, x2, x3)."""
+        cube = Hypercube(8)
+        pattern = HypercubeTransposePattern(cube)
+        rng = random.Random(0)
+        src_bits = (1, 0, 1, 1, 0, 1, 0, 0)
+        src = cube.node_from_bits(src_bits)
+        dst = pattern.dest(src, rng)
+        x = src_bits
+        expected = (1 - x[4], x[5], x[6], x[7], 1 - x[0], x[1], x[2], x[3])
+        assert cube.bits(dst) == expected
+
+    def test_fixed_points_inactive(self):
+        cube = Hypercube(8)
+        pattern = HypercubeTransposePattern(cube)
+        # Fixed points need x0 = ~x4 plus x1 = x5, x2 = x6, x3 = x7: 16.
+        active = pattern.active_sources(cube)
+        assert len(active) == 256 - 16
+
+    def test_embedding_preserves_neighbourhood(self):
+        """Mesh neighbours map to cube neighbours: the pattern equals the
+        mesh transpose pushed through a Gray-free binary embedding, so
+        corresponding destinations differ in bounded dimensions."""
+        cube = Hypercube(8)
+        pattern = HypercubeTransposePattern(cube)
+        rng = random.Random(0)
+        # The mapping is an involution wherever active.
+        for src in pattern.active_sources(cube):
+            dst = pattern.dest(src, rng)
+            assert pattern.dest(dst, rng) == src
+
+    def test_requires_even_order(self):
+        with pytest.raises(ValueError):
+            HypercubeTransposePattern(Hypercube(5))
+
+
+class TestReverseFlip:
+    def test_mapping(self):
+        cube = Hypercube(8)
+        pattern = ReverseFlipPattern(cube)
+        rng = random.Random(0)
+        src_bits = (1, 0, 1, 1, 0, 1, 0, 0)
+        src = cube.node_from_bits(src_bits)
+        dst = pattern.dest(src, rng)
+        expected = tuple(1 - b for b in reversed(src_bits))
+        assert cube.bits(dst) == expected
+
+    def test_fixed_points_inactive(self):
+        cube = Hypercube(8)
+        pattern = ReverseFlipPattern(cube)
+        assert len(pattern.active_sources(cube)) == 256 - 16
+
+    def test_paper_average_path_length(self):
+        """Section 6: 4.27 hops for reverse-flip in the 8-cube."""
+        cube = Hypercube(8)
+        avg = ReverseFlipPattern(cube).average_hops()
+        assert avg == Fraction(64, 15)  # 4.2666...
+        assert float(avg) == pytest.approx(4.27, abs=0.01)
+
+
+class TestUniformAverages:
+    def test_paper_uniform_cube_hops(self):
+        """Section 6: 4.01 hops for uniform traffic in the 8-cube."""
+        cube = Hypercube(8)
+        avg = uniform_average_hops(cube)
+        assert avg == Fraction(8 * 128 * 256, 256 * 255)
+        assert float(avg) == pytest.approx(4.01, abs=0.01)
+
+    def test_uniform_mesh_hops_close_to_paper(self):
+        """The paper quotes 10.61 for the 16x16 mesh; the exact all-pairs
+        mean is 10 2/3 (the paper's figure is presumably measured)."""
+        mesh = Mesh2D(16, 16)
+        avg = uniform_average_hops(mesh)
+        assert avg == Fraction(32, 3)
+        assert float(avg) == pytest.approx(10.61, abs=0.1)
+
+
+class TestMeshComplement:
+    def test_mapping(self):
+        from repro.topology import Mesh
+        from repro.traffic import MeshComplementPattern
+
+        mesh = Mesh((4, 4, 4))
+        pattern = MeshComplementPattern(mesh)
+        rng = random.Random(0)
+        src = mesh.node_at((1, 2, 0))
+        assert mesh.coords(pattern.dest(src, rng)) == (2, 1, 3)
+
+    def test_centre_fixed_points_inactive_for_odd_dims(self):
+        from repro.topology import Mesh
+        from repro.traffic import MeshComplementPattern
+
+        mesh = Mesh((3, 3))
+        pattern = MeshComplementPattern(mesh)
+        rng = random.Random(0)
+        centre = mesh.node_at((1, 1))
+        assert pattern.dest(centre, rng) is None
+        assert len(pattern.active_sources(mesh)) == 8
+
+    def test_is_involution(self):
+        from repro.topology import Mesh
+        from repro.traffic import MeshComplementPattern
+
+        mesh = Mesh((4, 5))
+        pattern = MeshComplementPattern(mesh)
+        rng = random.Random(0)
+        for src in pattern.active_sources(mesh):
+            assert pattern.dest(pattern.dest(src, rng), rng) == src
+
+
+class TestExtras:
+    def test_bit_complement(self):
+        cube = Hypercube(6)
+        pattern = BitComplementPattern(cube)
+        rng = random.Random(0)
+        assert pattern.dest(0, rng) == 63
+        assert pattern.dest(0b101010, rng) == 0b010101
+        assert len(pattern.active_sources(cube)) == 64
+
+    def test_hotspot_fraction(self):
+        mesh = Mesh2D(4, 4)
+        pattern = HotspotPattern(mesh, hotspot=5, fraction=0.5)
+        rng = random.Random(0)
+        hits = sum(1 for _ in range(4000) if pattern.dest(0, rng) == 5)
+        assert 0.45 < hits / 4000 < 0.60
+
+    def test_hotspot_fraction_validated(self):
+        with pytest.raises(ValueError):
+            HotspotPattern(Mesh2D(4, 4), hotspot=0, fraction=1.5)
+
+    def test_permutation_pattern(self):
+        mesh = Mesh2D(4, 4)
+        pattern = PermutationPattern(mesh, {0: 15, 15: 0, 3: 3})
+        rng = random.Random(0)
+        assert pattern.dest(0, rng) == 15
+        assert pattern.dest(3, rng) is None  # self-loop dropped
+        assert pattern.dest(7, rng) is None  # unmapped
+        assert pattern.active_sources(mesh) == [0, 15]
+
+    def test_permutation_validates_range(self):
+        with pytest.raises(ValueError):
+            PermutationPattern(Mesh2D(2, 2), {0: 99})
+
+    def test_average_hops_requires_deterministic(self):
+        mesh = Mesh2D(4, 4)
+        with pytest.raises(NotImplementedError):
+            UniformPattern(mesh).average_hops()

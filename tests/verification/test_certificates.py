@@ -1,0 +1,103 @@
+"""Tests for automatic Dally-Seitz numbering certificates."""
+
+import random
+
+from repro.core import Turn, TurnModel
+from repro.routing import (
+    NegativeFirst,
+    TurnRestrictedMinimal,
+    WestFirst,
+    XY,
+    path_channels,
+    walk,
+)
+from repro.topology import EAST, Mesh2D, NORTH
+from repro.verification import (
+    DiGraph,
+    generate_certificate,
+    topological_numbering,
+    validate_certificate,
+)
+
+
+class TestTopologicalNumbering:
+    def test_chain(self):
+        g = DiGraph()
+        for i in range(5):
+            g.add_edge(i, i + 1)
+        numbers = topological_numbering(g)
+        assert all(numbers[i] < numbers[i + 1] for i in range(5))
+
+    def test_cycle_returns_none(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        assert topological_numbering(g) is None
+
+    def test_diamond(self):
+        g = DiGraph()
+        for a, b in [(0, 1), (0, 2), (1, 3), (2, 3)]:
+            g.add_edge(a, b)
+        numbers = topological_numbering(g)
+        assert numbers[0] < numbers[1] < numbers[3]
+        assert numbers[0] < numbers[2] < numbers[3]
+
+
+class TestGeneratedCertificates:
+    def test_certificates_exist_for_paper_algorithms(self):
+        mesh = Mesh2D(5, 5)
+        for alg in (XY(mesh), WestFirst(mesh), NegativeFirst(mesh)):
+            certificate = generate_certificate(alg)
+            assert certificate is not None, alg.name
+            assert validate_certificate(certificate, alg) == []
+
+    def test_certificate_covers_every_channel(self):
+        mesh = Mesh2D(4, 4)
+        certificate = generate_certificate(WestFirst(mesh))
+        assert set(certificate.numbers) >= set(mesh.channels())
+
+    def test_no_certificate_for_deadlocking_relation(self):
+        mesh = Mesh2D(4, 4)
+        bad = TurnRestrictedMinimal(
+            mesh, TurnModel.from_prohibited("none", 2, set())
+        )
+        assert generate_certificate(bad) is None
+
+    def test_random_walks_strictly_increase(self):
+        """The generated numbering plays the exact role of the paper's
+        hand-built ones: strictly monotone along every legal path."""
+        mesh = Mesh2D(6, 6)
+        rng = random.Random(5)
+        for alg in (WestFirst(mesh), NegativeFirst(mesh)):
+            certificate = generate_certificate(alg)
+            for _ in range(150):
+                src = rng.randrange(36)
+                dst = rng.randrange(36)
+                if src == dst:
+                    continue
+                path = walk(alg, src, dst, rng=rng)
+                channels = path_channels(mesh, path)
+                assert certificate.check_path(channels), (alg.name, path)
+
+    def test_custom_turn_model_gets_a_certificate(self):
+        from repro.topology import SOUTH, WEST
+
+        mesh = Mesh2D(4, 4)
+        model = TurnModel.from_prohibited(
+            "south-last", 2, {Turn(SOUTH, WEST), Turn(SOUTH, EAST)}
+        )
+        alg = TurnRestrictedMinimal(mesh, model)
+        certificate = generate_certificate(alg)
+        assert certificate is not None
+        assert validate_certificate(certificate, alg) == []
+
+    def test_tampered_certificate_fails_validation(self):
+        mesh = Mesh2D(4, 4)
+        alg = XY(mesh)
+        certificate = generate_certificate(alg)
+        # Swap the two extreme ranks: some dependency must now violate.
+        items = sorted(certificate.numbers.items(), key=lambda kv: kv[1])
+        lo_ch, lo = items[0]
+        hi_ch, hi = items[-1]
+        certificate.numbers[lo_ch], certificate.numbers[hi_ch] = hi, lo
+        assert validate_certificate(certificate, alg) != []

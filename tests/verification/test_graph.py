@@ -1,0 +1,97 @@
+"""Tests for the directed-graph toolkit behind the CDG verifier."""
+
+from repro.verification import DiGraph
+
+
+class TestCycleDetection:
+    def test_empty_graph_acyclic(self):
+        assert DiGraph().is_acyclic()
+
+    def test_single_edge_acyclic(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        assert g.is_acyclic()
+        assert g.find_cycle() is None
+
+    def test_self_loop(self):
+        g = DiGraph()
+        g.add_edge(1, 1)
+        assert g.find_cycle() == [1]
+
+    def test_two_cycle(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        cycle = g.find_cycle()
+        assert sorted(cycle) == ["a", "b"]
+
+    def test_cycle_witness_is_a_real_cycle(self):
+        g = DiGraph()
+        edges = [(1, 2), (2, 3), (3, 4), (4, 2), (1, 5)]
+        for a, b in edges:
+            g.add_edge(a, b)
+        cycle = g.find_cycle()
+        assert cycle is not None
+        for a, b in zip(cycle, cycle[1:]):
+            assert g.has_edge(a, b)
+        assert g.has_edge(cycle[-1], cycle[0])
+
+    def test_dag_with_diamonds_acyclic(self):
+        g = DiGraph()
+        for a, b in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]:
+            g.add_edge(a, b)
+        assert g.is_acyclic()
+
+    def test_long_chain(self):
+        g = DiGraph()
+        for i in range(1000):
+            g.add_edge(i, i + 1)
+        assert g.is_acyclic()
+        g.add_edge(1000, 0)
+        assert not g.is_acyclic()
+
+
+class TestSCC:
+    def test_sccs_partition_nodes(self):
+        g = DiGraph()
+        for a, b in [(1, 2), (2, 1), (2, 3), (3, 4), (4, 3), (5, 5)]:
+            g.add_edge(a, b)
+        comps = g.strongly_connected_components()
+        nodes = sorted(n for comp in comps for n in comp)
+        assert nodes == [1, 2, 3, 4, 5]
+
+    def test_cyclic_components(self):
+        g = DiGraph()
+        for a, b in [(1, 2), (2, 1), (3, 4), (5, 5)]:
+            g.add_edge(a, b)
+        cyclic = g.cyclic_components()
+        assert sorted(sorted(c) for c in cyclic) == [[1, 2], [5]]
+
+    def test_acyclic_graph_has_no_cyclic_components(self):
+        g = DiGraph()
+        for a, b in [(1, 2), (2, 3)]:
+            g.add_edge(a, b)
+        assert g.cyclic_components() == []
+
+
+class TestBasics:
+    def test_counts(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 3)
+        g.add_node(9)
+        assert g.num_nodes() == 4
+        assert g.num_edges() == 2
+
+    def test_duplicate_edges_collapse(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 2)
+        assert g.num_edges() == 1
+
+    def test_successors(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 3)
+        assert g.successors(1) == {2, 3}
+        assert g.successors(99) == set()

@@ -1,0 +1,42 @@
+"""Tests for the connectivity checker."""
+
+from repro.routing import NegativeFirst, WestFirst, XY
+from repro.topology import Mesh2D
+from repro.verification import check_connectivity
+
+
+class TestConnectivity:
+    def test_full_connectivity_for_paper_algorithms(self):
+        mesh = Mesh2D(5, 5)
+        for alg_cls in (XY, WestFirst, NegativeFirst):
+            report = check_connectivity(alg_cls(mesh))
+            assert report.fully_connected
+            assert report.delivered_pairs == report.total_pairs
+            assert report.total_pairs == 25 * 24
+
+    def test_minimality_reported(self):
+        mesh = Mesh2D(4, 4)
+        report = check_connectivity(XY(mesh))
+        assert report.minimal_everywhere
+        assert report.max_hops_seen == 6
+
+    def test_subset_of_pairs(self):
+        mesh = Mesh2D(4, 4)
+        report = check_connectivity(XY(mesh), pairs=[(0, 15), (15, 0)])
+        assert report.total_pairs == 2
+        assert report.fully_connected
+
+    def test_stranding_algorithm_is_reported(self):
+        """An algorithm with a hole in its routing relation is caught."""
+
+        class Broken(XY):
+            def candidates(self, current, dest, in_direction=None):
+                if current == 5:
+                    return []
+                return super().candidates(current, dest, in_direction)
+
+        mesh = Mesh2D(4, 4)
+        report = check_connectivity(Broken(mesh))
+        assert not report.fully_connected
+        assert all(pair[0] == 5 or True for pair in report.stranded)
+        assert any(src == 5 for src, _ in report.stranded)
