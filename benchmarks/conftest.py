@@ -11,7 +11,7 @@ import os
 
 import pytest
 
-from repro.analysis import FAST, FULL
+from repro.analysis import FAST, FULL, ParallelSweepRunner
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -23,6 +23,12 @@ def pytest_addoption(parser):
         default=False,
         help="use the FULL experiment preset (denser grids, longer runs)",
     )
+    parser.addoption(
+        "--benchmark-jobs",
+        type=int,
+        default=1,
+        help="worker processes for the figure sweeps (default 1: serial)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -30,6 +36,19 @@ def preset(request):
     if request.config.getoption("--benchmark-full-figures"):
         return FULL
     return FAST
+
+
+@pytest.fixture(scope="session")
+def runner(request):
+    """Experiment runner for the figure benchmarks.
+
+    Caching is deliberately disabled: a benchmark that serves results
+    from disk would report the cache's speed, not the simulator's.
+    ``--benchmark-jobs N`` parallelises the sweep's operating points
+    (the recorded wall-clock then measures the runner, not one core).
+    """
+    jobs = request.config.getoption("--benchmark-jobs")
+    return ParallelSweepRunner(jobs=jobs, cache=None)
 
 
 @pytest.fixture(scope="session")

@@ -13,9 +13,13 @@ from repro.analysis import (
 )
 
 
-def test_fig13_mesh_uniform(benchmark, preset, record):
+def test_fig13_mesh_uniform(benchmark, preset, record, runner):
     series = benchmark.pedantic(
-        figure13_mesh_uniform, args=(preset,), rounds=1, iterations=1
+        figure13_mesh_uniform,
+        args=(preset,),
+        kwargs={"runner": runner},
+        rounds=1,
+        iterations=1,
     )
     text = format_figure("Figure 13: uniform traffic, 16x16 mesh", series)
     print("\n" + text)

@@ -10,9 +10,13 @@ minimal negative-first — see EXPERIMENTS.md for the discussion.)
 from repro.analysis import adaptive_vs_nonadaptive, figure14_mesh_transpose, format_figure
 
 
-def test_fig14_mesh_transpose(benchmark, preset, record):
+def test_fig14_mesh_transpose(benchmark, preset, record, runner):
     series = benchmark.pedantic(
-        figure14_mesh_transpose, args=(preset,), rounds=1, iterations=1
+        figure14_mesh_transpose,
+        args=(preset,),
+        kwargs={"runner": runner},
+        rounds=1,
+        iterations=1,
     )
     ratio = adaptive_vs_nonadaptive(series)
     text = format_figure(

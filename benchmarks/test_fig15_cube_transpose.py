@@ -12,9 +12,13 @@ from repro.analysis import (
 )
 
 
-def test_fig15_cube_transpose(benchmark, preset, record):
+def test_fig15_cube_transpose(benchmark, preset, record, runner):
     series = benchmark.pedantic(
-        figure15_cube_transpose, args=(preset,), rounds=1, iterations=1
+        figure15_cube_transpose,
+        args=(preset,),
+        kwargs={"runner": runner},
+        rounds=1,
+        iterations=1,
     )
     ratio = adaptive_vs_nonadaptive(series)
     text = format_figure(

@@ -12,9 +12,13 @@ from repro.analysis import (
 )
 
 
-def test_fig16_cube_reverse_flip(benchmark, preset, record):
+def test_fig16_cube_reverse_flip(benchmark, preset, record, runner):
     series = benchmark.pedantic(
-        figure16_cube_reverse_flip, args=(preset,), rounds=1, iterations=1
+        figure16_cube_reverse_flip,
+        args=(preset,),
+        kwargs={"runner": runner},
+        rounds=1,
+        iterations=1,
     )
     ratio = adaptive_vs_nonadaptive(series)
     text = format_figure(

@@ -5,14 +5,22 @@ Runs every figure's sweep at a medium preset (denser than the benchmark
 FAST preset), plus the cube-uniform reference sweep that Section 6's
 cross-figure claims need, and prints one consolidated report.
 
-Run:  python scripts/collect_experiments.py [outfile]
+The sweeps route through the parallel experiment runner: ``--jobs N``
+fans the operating points over N worker processes, and the on-disk
+result cache makes re-collection after an interruption (or a doc-only
+change) close to free.  See docs/PERFORMANCE.md.
+
+Run:  python scripts/collect_experiments.py [outfile] [--jobs N]
+          [--no-cache] [--cache-dir DIR] [--force]
 """
 
-import sys
+import argparse
 import time
 
 from repro.analysis import (
     ExperimentPreset,
+    ParallelSweepRunner,
+    ResultCache,
     adaptive_vs_nonadaptive,
     compare_algorithms,
     figure13_mesh_uniform,
@@ -35,19 +43,39 @@ MEDIUM = ExperimentPreset(
 )
 
 
-def cube_uniform(preset):
+def cube_uniform(preset, progress=None, runner=None):
     cube = Hypercube(8)
     return compare_algorithms(
         hypercube_algorithms(cube),
         lambda topo: UniformPattern(topo),
         preset.cube_loads,
         preset.config(),
+        progress,
+        runner=runner,
     )
 
 
+def parse_args():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "outfile",
+        nargs="?",
+        default="benchmarks/results/experiments_summary.txt",
+    )
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--no-cache", dest="cache", action="store_false")
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--force", action="store_true")
+    return parser.parse_args()
+
+
 def main() -> None:
-    out_path = sys.argv[1] if len(sys.argv) > 1 else (
-        "benchmarks/results/experiments_summary.txt"
+    args = parse_args()
+    out_path = args.outfile
+    runner = ParallelSweepRunner(
+        jobs=args.jobs,
+        cache=ResultCache(args.cache_dir) if args.cache else None,
+        force=args.force,
     )
     sections = []
     t0 = time.time()
@@ -67,7 +95,7 @@ def main() -> None:
     ]
     for title, harness in harnesses:
         start = time.time()
-        series = harness(MEDIUM)
+        series = harness(MEDIUM, runner=runner)
         block = format_figure(title, series)
         try:
             ratio = adaptive_vs_nonadaptive(series)
@@ -82,7 +110,10 @@ def main() -> None:
         sections.append(block)
         print(block, flush=True)
 
-    report = "\n\n".join(sections) + f"\n\ntotal {time.time() - t0:.0f}s\n"
+    report = (
+        "\n\n".join(sections)
+        + f"\n\ntotal {time.time() - t0:.0f}s [{runner.stats.summary()}]\n"
+    )
     with open(out_path, "w") as fh:
         fh.write(report)
     print(f"\nwritten to {out_path}")

@@ -17,7 +17,19 @@ from .experiments import (
     figure16_cube_reverse_flip,
     section5_pcube_table,
 )
-from .saturation import SaturationPoint, find_saturation
+from .runner import (
+    CACHE_SCHEMA,
+    ParallelSweepRunner,
+    PointSpec,
+    ResultCache,
+    RunnerStats,
+    default_cache_dir,
+    make_pattern,
+    parse_topology_spec,
+    point_spec,
+    topology_spec,
+)
+from .saturation import SaturationPoint, find_saturation, find_saturation_many
 from .series import (
     format_figure,
     format_saturation_points,
@@ -27,26 +39,37 @@ from .series import (
 from .sweep import SweepSeries, compare_algorithms, run_sweep
 
 __all__ = [
+    "CACHE_SCHEMA",
     "ExperimentPreset",
     "FAST",
     "FIGURE_HARNESSES",
     "FULL",
+    "ParallelSweepRunner",
+    "PointSpec",
+    "ResultCache",
+    "RunnerStats",
     "SaturationPoint",
     "SweepSeries",
     "ThroughputRatio",
     "adaptive_vs_nonadaptive",
     "compare_algorithms",
+    "default_cache_dir",
     "figure13_mesh_uniform",
     "figure14_mesh_transpose",
     "figure15_cube_transpose",
     "figure16_cube_reverse_flip",
     "find_saturation",
+    "find_saturation_many",
     "format_figure",
     "format_saturation_points",
     "format_saturation_summary",
+    "make_pattern",
     "paper_hop_counts",
+    "parse_topology_spec",
+    "point_spec",
     "render_latency_chart",
     "run_sweep",
     "section5_pcube_table",
+    "topology_spec",
     "uniform_nonadaptive_wins",
 ]

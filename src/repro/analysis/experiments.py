@@ -30,6 +30,7 @@ from ..traffic.patterns import (
     ReverseFlipPattern,
     UniformPattern,
 )
+from .runner import ParallelSweepRunner
 from .sweep import SweepSeries, compare_algorithms
 
 
@@ -77,6 +78,7 @@ def _cube(preset: ExperimentPreset):
 def figure13_mesh_uniform(
     preset: ExperimentPreset = FAST,
     progress: Optional[Callable] = None,
+    runner: Optional[ParallelSweepRunner] = None,
 ) -> List[SweepSeries]:
     """Figure 13: xy / WF / NL / NF under uniform traffic, 16x16 mesh."""
     mesh = _mesh(preset)
@@ -86,12 +88,14 @@ def figure13_mesh_uniform(
         preset.mesh_loads,
         preset.config(),
         progress,
+        runner=runner,
     )
 
 
 def figure14_mesh_transpose(
     preset: ExperimentPreset = FAST,
     progress: Optional[Callable] = None,
+    runner: Optional[ParallelSweepRunner] = None,
 ) -> List[SweepSeries]:
     """Figure 14: the same four algorithms under matrix-transpose."""
     mesh = _mesh(preset)
@@ -101,12 +105,14 @@ def figure14_mesh_transpose(
         preset.mesh_loads,
         preset.config(),
         progress,
+        runner=runner,
     )
 
 
 def figure15_cube_transpose(
     preset: ExperimentPreset = FAST,
     progress: Optional[Callable] = None,
+    runner: Optional[ParallelSweepRunner] = None,
 ) -> List[SweepSeries]:
     """Figure 15: e-cube / ABONF / ABOPL / p-cube under the embedded
     matrix transpose, binary 8-cube."""
@@ -117,12 +123,14 @@ def figure15_cube_transpose(
         preset.cube_loads,
         preset.config(),
         progress,
+        runner=runner,
     )
 
 
 def figure16_cube_reverse_flip(
     preset: ExperimentPreset = FAST,
     progress: Optional[Callable] = None,
+    runner: Optional[ParallelSweepRunner] = None,
 ) -> List[SweepSeries]:
     """Figure 16: the same four algorithms under reverse-flip."""
     cube = _cube(preset)
@@ -132,6 +140,7 @@ def figure16_cube_reverse_flip(
         preset.cube_loads,
         preset.config(),
         progress,
+        runner=runner,
     )
 
 

@@ -1,0 +1,473 @@
+"""Parallel experiment execution with on-disk result caching.
+
+The paper's evaluation is a grid of *independent* operating points —
+(algorithm x pattern x offered load) — so reproducing a figure is an
+embarrassingly parallel job.  This module provides the execution layer
+the sweep/saturation/figure harnesses route through:
+
+* :class:`PointSpec` — a picklable description of one operating point
+  (topology spec string, algorithm name, pattern name, and the full
+  :class:`~repro.simulation.config.SimulationConfig`).  Workers rebuild
+  the live topology/algorithm/pattern objects from the spec, so nothing
+  unpicklable ever crosses a process boundary.
+* :class:`ResultCache` — an on-disk store of finished
+  :class:`~repro.simulation.metrics.SimulationResult` objects keyed by a
+  deterministic content hash of the point spec plus the package version.
+  Re-running a figure with an unchanged configuration is instant.
+* :class:`ParallelSweepRunner` — fans a batch of specs out over a
+  ``multiprocessing`` pool (or runs them inline for ``jobs=1``), serves
+  cache hits, records wall-clock/points-per-second statistics, and
+  invokes a per-point progress callback as results arrive.
+
+Because every point simulates with its own private RNG seeded from the
+config, parallel execution is bit-identical to the serial path: the same
+spec always produces the same :class:`SimulationResult`, regardless of
+worker count or completion order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..routing.base import RoutingAlgorithm
+from ..routing.registry import make_algorithm
+from ..simulation.config import SimulationConfig
+from ..simulation.engine import WormholeSimulator
+from ..simulation.metrics import SimulationResult
+from ..topology.base import Topology
+from ..topology.hypercube import Hypercube
+from ..topology.mesh import Mesh, mesh
+from ..topology.torus import KAryNCube
+from ..traffic.patterns import (
+    BitComplementPattern,
+    HypercubeTransposePattern,
+    MeshTransposePattern,
+    ReverseFlipPattern,
+    TrafficPattern,
+    UniformPattern,
+)
+
+CACHE_SCHEMA = 1
+"""Bumped whenever the cached payload layout changes; part of every key."""
+
+ProgressCallback = Callable[[SimulationResult], None]
+
+
+def _code_version() -> str:
+    """The installed package version (part of every cache key, so a new
+    release never serves results simulated by old code)."""
+    import repro
+
+    return getattr(repro, "__version__", "unknown")
+
+
+# ---------------------------------------------------------------------------
+# Spec strings <-> live objects
+# ---------------------------------------------------------------------------
+
+
+def parse_topology_spec(spec: str) -> Topology:
+    """Parse ``mesh:16x16`` / ``cube:8`` / ``torus:8x2`` into a topology.
+
+    Raises :class:`ValueError` for malformed specs (the CLI wraps this
+    into a usage error).
+    """
+    try:
+        kind, _, shape = spec.partition(":")
+        if kind == "mesh":
+            dims = tuple(int(part) for part in shape.split("x"))
+            return mesh(dims)
+        if kind == "cube":
+            return Hypercube(int(shape))
+        if kind == "torus":
+            k, n = (int(part) for part in shape.split("x"))
+            return KAryNCube(k, n)
+    except (ValueError, TypeError):
+        pass
+    raise ValueError(
+        f"bad topology spec {spec!r}; expected mesh:AxB, cube:N, or torus:KxN"
+    )
+
+
+def topology_spec(topology: Topology) -> str:
+    """Inverse of :func:`parse_topology_spec` for the built-in topologies.
+
+    Raises :class:`ValueError` for topology classes without a spec form
+    (callers fall back to in-process serial execution for those).
+    """
+    if isinstance(topology, KAryNCube):
+        return f"torus:{topology.k}x{topology.n_dims}"
+    if isinstance(topology, Hypercube):
+        return f"cube:{topology.order}"
+    if isinstance(topology, Mesh):
+        return "mesh:" + "x".join(str(k) for k in topology.dims)
+    raise ValueError(
+        f"topology {type(topology).__name__} has no spec-string form"
+    )
+
+
+PATTERN_NAMES: Tuple[str, ...] = (
+    "uniform",
+    "transpose",
+    "reverse-flip",
+    "bit-complement",
+)
+
+
+def make_pattern(name: str, topology: Topology) -> TrafficPattern:
+    """Build the named traffic pattern on ``topology``.
+
+    ``transpose`` dispatches on the topology (the paper embeds the mesh
+    transpose into the hypercube).  Raises :class:`ValueError` for
+    unknown names.
+    """
+    if name == "uniform":
+        return UniformPattern(topology)
+    if name == "transpose":
+        if isinstance(topology, Hypercube):
+            return HypercubeTransposePattern(topology)
+        return MeshTransposePattern(topology)
+    if name == "reverse-flip":
+        return ReverseFlipPattern(topology)
+    if name == "bit-complement":
+        return BitComplementPattern(topology)
+    raise ValueError(
+        f"unknown pattern {name!r}; choose from {PATTERN_NAMES}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Point specs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One operating point, described entirely by picklable values."""
+
+    topology: str
+    """Topology spec string, e.g. ``"mesh:16x16"``."""
+
+    algorithm: str
+    """Routing-algorithm registry name, e.g. ``"west-first"``."""
+
+    pattern: str
+    """Traffic-pattern name, e.g. ``"uniform"``."""
+
+    config: SimulationConfig
+    """The full simulation configuration (includes the offered load)."""
+
+    def build(self) -> Tuple[RoutingAlgorithm, TrafficPattern]:
+        """Rebuild the live algorithm and pattern objects."""
+        topo = parse_topology_spec(self.topology)
+        algorithm = make_algorithm(self.algorithm, topo)
+        pattern = make_pattern(self.pattern, topo)
+        return algorithm, pattern
+
+    def execute(self) -> SimulationResult:
+        """Run the simulation for this point (in the calling process)."""
+        algorithm, pattern = self.build()
+        return WormholeSimulator(algorithm, pattern, self.config).run()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "topology": self.topology,
+            "algorithm": self.algorithm,
+            "pattern": self.pattern,
+            "config": self.config.to_dict(),
+        }
+
+    def cache_key(self) -> str:
+        """Deterministic content hash of this point.
+
+        Covers the topology spec, algorithm name, pattern name, every
+        :class:`SimulationConfig` field, the cache schema version, and
+        the package version — changing any of them misses the cache.
+        """
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "code": _code_version(),
+            "point": self.to_dict(),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def point_spec(
+    algorithm: RoutingAlgorithm,
+    pattern: TrafficPattern,
+    config: SimulationConfig,
+) -> PointSpec:
+    """Describe live objects as a :class:`PointSpec`, validating that a
+    worker process can rebuild equivalent objects from it.
+
+    Raises :class:`ValueError` when the algorithm or pattern is not
+    registry-constructible (e.g. a custom turn model built by hand);
+    callers then fall back to in-process serial execution.
+    """
+    topo_spec = topology_spec(algorithm.topology)
+    rebuilt_topology = parse_topology_spec(topo_spec)
+    try:
+        rebuilt = make_algorithm(algorithm.name, rebuilt_topology)
+    except (KeyError, ValueError) as exc:
+        raise ValueError(
+            f"algorithm {algorithm.name!r} is not registry-constructible: "
+            f"{exc}"
+        ) from exc
+    if rebuilt.name != algorithm.name:
+        raise ValueError(
+            f"registry round-trip changed the algorithm name: "
+            f"{algorithm.name!r} -> {rebuilt.name!r}"
+        )
+    pattern_name = getattr(pattern, "name", None)
+    if not isinstance(pattern_name, str):
+        raise ValueError(f"pattern {pattern!r} has no name")
+    rebuilt_pattern = make_pattern(pattern_name, rebuilt_topology)
+    if type(rebuilt_pattern) is not type(pattern):
+        raise ValueError(
+            f"pattern {pattern_name!r} rebuilds as "
+            f"{type(rebuilt_pattern).__name__}, not {type(pattern).__name__}"
+        )
+    return PointSpec(
+        topology=topo_spec,
+        algorithm=algorithm.name,
+        pattern=pattern_name,
+        config=config,
+    )
+
+
+# ---------------------------------------------------------------------------
+# On-disk result cache
+# ---------------------------------------------------------------------------
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+    ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+class ResultCache:
+    """Finished :class:`SimulationResult` objects, one pickle per point.
+
+    Entries live at ``<root>/<key[:2]>/<key>.pkl`` where ``key`` is
+    :meth:`PointSpec.cache_key`.  Each entry stores the spec alongside
+    the result and is validated on read, so a (vanishingly unlikely)
+    hash collision or a corrupted file degrades to a cache miss, never
+    to a wrong answer.  Writes are atomic (temp file + rename), so
+    concurrent workers and concurrent runs can share one cache.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, spec: PointSpec) -> Path:
+        key = spec.cache_key()
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, spec: PointSpec) -> Optional[SimulationResult]:
+        """The cached result for ``spec``, or None."""
+        path = self.path_for(spec)
+        try:
+            with open(path, "rb") as fh:
+                entry = pickle.load(fh)
+            if entry.get("point") != spec.to_dict():
+                raise ValueError("cache entry does not match its key")
+            result = entry["result"]
+        except (OSError, ValueError, KeyError, pickle.UnpicklingError,
+                EOFError, AttributeError, ImportError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: PointSpec, result: SimulationResult) -> Path:
+        """Store ``result`` for ``spec`` (atomic, last writer wins)."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"point": spec.to_dict(), "result": result}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+
+
+def _execute_indexed(item: Tuple[int, PointSpec]) -> Tuple[int, SimulationResult]:
+    """Pool worker: run one spec, tagging the result with its index."""
+    index, spec = item
+    return index, spec.execute()
+
+
+@dataclass
+class RunnerStats:
+    """Cumulative accounting across a runner's batches."""
+
+    executed: int = 0
+    cached: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def points(self) -> int:
+        return self.executed + self.cached
+
+    @property
+    def points_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.points / self.wall_seconds
+
+    def summary(self) -> str:
+        return (
+            f"{self.wall_seconds:.1f}s wall, {self.points} points "
+            f"({self.executed} simulated, {self.cached} cached), "
+            f"{self.points_per_second:.1f} points/s"
+        )
+
+
+class ParallelSweepRunner:
+    """Executes batches of :class:`PointSpec` with workers and a cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` means one per CPU, ``1`` runs every
+        point inline in the calling process (no pool).
+    cache:
+        A :class:`ResultCache`, a directory path to open one at, or
+        ``None`` to disable caching entirely.
+    force:
+        Ignore cached entries (results are still written back, so a
+        forced run refreshes the cache).
+    progress:
+        Called with each :class:`SimulationResult` as it becomes
+        available (cache hits included).  Runs in the parent process.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[object] = None,
+        force: bool = False,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache: Optional[ResultCache] = cache
+        self.force = force
+        self.progress = progress
+        self.stats = RunnerStats()
+
+    def run_point(
+        self, spec: PointSpec, progress: Optional[ProgressCallback] = None
+    ) -> SimulationResult:
+        return self.run_points([spec], progress=progress)[0]
+
+    def run_points(
+        self,
+        specs: Sequence[PointSpec],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[SimulationResult]:
+        """Run a batch, returning results in spec order.
+
+        Cache hits are served first; misses fan out over the worker pool
+        (inline for ``jobs=1``).  Results are bit-identical to running
+        each spec serially because every simulation owns a private RNG
+        seeded from its config.
+        """
+        report = progress if progress is not None else self.progress
+        started = time.perf_counter()
+        results: List[Optional[SimulationResult]] = [None] * len(specs)
+        pending: List[int] = []
+
+        for i, spec in enumerate(specs):
+            hit = None
+            if self.cache is not None and not self.force:
+                hit = self.cache.get(spec)
+            if hit is not None:
+                results[i] = hit
+                self.stats.cached += 1
+                if report is not None:
+                    report(hit)
+            else:
+                pending.append(i)
+
+        if self.jobs == 1 or len(pending) == 1:
+            for i in pending:
+                results[i] = specs[i].execute()
+                self._record(specs[i], results[i], report)
+        elif pending:
+            workers = min(self.jobs, len(pending))
+            with multiprocessing.Pool(processes=workers) as pool:
+                indexed = [(i, specs[i]) for i in pending]
+                for i, result in pool.imap_unordered(
+                    _execute_indexed, indexed, chunksize=1
+                ):
+                    results[i] = result
+                    self._record(specs[i], result, report)
+
+        self.stats.wall_seconds += time.perf_counter() - started
+        return results  # type: ignore[return-value]
+
+    def _record(
+        self,
+        spec: PointSpec,
+        result: SimulationResult,
+        report: Optional[ProgressCallback],
+    ) -> None:
+        self.stats.executed += 1
+        if self.cache is not None:
+            self.cache.put(spec, result)
+        if report is not None:
+            report(result)

@@ -4,17 +4,25 @@ The paper defines throughput as *sustainable* "when the number of packets
 queued at their source processors is small and bounded".  This module
 finds each (algorithm, pattern) pair's maximum sustainable operating
 point by bisecting on offered load with that test.
+
+Bisection is inherently sequential per pair — each probe depends on the
+last — but a *campaign* over many pairs is not: :func:`find_saturation_many`
+advances every pair's bisection in lock-step, submitting each level's
+midpoint probes as one batch to a
+:class:`~repro.analysis.runner.ParallelSweepRunner`, so a fleet of
+saturation searches runs in the wall-clock time of one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 from ..routing.base import RoutingAlgorithm
 from ..simulation.config import SimulationConfig
 from ..simulation.engine import WormholeSimulator
 from ..simulation.metrics import SimulationResult
+from .runner import ParallelSweepRunner, PointSpec, point_spec
 
 
 @dataclass
@@ -33,6 +41,133 @@ def _sustainable(result: SimulationResult) -> bool:
     return result.sustainable
 
 
+class _Search:
+    """Mutable bisection state for one (algorithm, pattern) pair."""
+
+    def __init__(self, algorithm, pattern, low: float, high: float) -> None:
+        self.algorithm = algorithm
+        self.pattern = pattern
+        self.low = low
+        self.high = high
+        self.probes = 0
+        self.best: Optional[SimulationResult] = None
+        self.done: Optional[SaturationPoint] = None
+
+    def finish(
+        self, load: float, result: Optional[SimulationResult]
+    ) -> SaturationPoint:
+        self.done = SaturationPoint(
+            algorithm=self.algorithm.name,
+            pattern=getattr(
+                self.pattern, "name", type(self.pattern).__name__
+            ),
+            max_sustainable_load=load,
+            throughput_flits_per_us=(
+                result.throughput_flits_per_us if result is not None else 0.0
+            ),
+            latency_us=result.avg_latency_us if result is not None else None,
+            probes=self.probes,
+        )
+        return self.done
+
+
+def _run_probe_batch(
+    probes: Sequence[Tuple[_Search, float]],
+    base_config: SimulationConfig,
+    runner: Optional[ParallelSweepRunner],
+) -> List[SimulationResult]:
+    """One simulation per (search, load) item, in item order.
+
+    Spec-representable probes go through the runner (pool + cache); the
+    rest run inline.  Without a runner everything runs inline, which is
+    byte-for-byte the historical serial behaviour.
+    """
+    results: List[Optional[SimulationResult]] = [None] * len(probes)
+    batch: List[PointSpec] = []
+    batch_indices: List[int] = []
+    for i, (search, load) in enumerate(probes):
+        config = base_config.with_load(load)
+        if runner is not None:
+            try:
+                spec = point_spec(search.algorithm, search.pattern, config)
+            except ValueError:
+                pass
+            else:
+                batch.append(spec)
+                batch_indices.append(i)
+                continue
+        results[i] = WormholeSimulator(
+            search.algorithm, search.pattern, config
+        ).run()
+    if batch:
+        for i, result in zip(batch_indices, runner.run_points(batch)):
+            results[i] = result
+    return results  # type: ignore[return-value]
+
+
+def find_saturation_many(
+    pairs: Sequence[Tuple[RoutingAlgorithm, object]],
+    base_config: Optional[SimulationConfig] = None,
+    low: float = 0.0,
+    high: float = 8.0,
+    iterations: int = 6,
+    runner: Optional[ParallelSweepRunner] = None,
+) -> List[SaturationPoint]:
+    """Saturation search over many (algorithm, pattern) pairs at once.
+
+    Each pair bisects offered load exactly as :func:`find_saturation`
+    does, but the searches advance level-synchronously: every round's
+    probes are submitted as one batch, so with a parallel runner ``P``
+    pairs need the wall-clock of a single search.  Results are identical
+    to running :func:`find_saturation` on each pair.
+    """
+    if base_config is None:
+        base_config = SimulationConfig()
+    searches = [_Search(a, p, low, high) for a, p in pairs]
+
+    # Ceiling probes: ``high`` must be unsustainable (raised once if not).
+    top = _run_probe_batch(
+        [(s, s.high) for s in searches], base_config, runner
+    )
+    doubled: List[_Search] = []
+    for search, result in zip(searches, top):
+        search.probes += 1
+        if _sustainable(result):
+            search.high *= 2
+            doubled.append(search)
+    if doubled:
+        retop = _run_probe_batch(
+            [(s, s.high) for s in doubled], base_config, runner
+        )
+        for search, result in zip(doubled, retop):
+            search.probes += 1
+            if _sustainable(result):
+                # Treat the probed ceiling as the answer rather than
+                # searching an unbounded range.
+                search.finish(search.high, result)
+
+    for _ in range(iterations):
+        active = [s for s in searches if s.done is None]
+        if not active:
+            break
+        mids = [(s.low + s.high) / 2 for s in active]
+        results = _run_probe_batch(
+            list(zip(active, mids)), base_config, runner
+        )
+        for search, mid, result in zip(active, mids, results):
+            search.probes += 1
+            if _sustainable(result):
+                search.low = mid
+                search.best = result
+            else:
+                search.high = mid
+
+    return [
+        s.done if s.done is not None else s.finish(s.low, s.best)
+        for s in searches
+    ]
+
+
 def find_saturation(
     algorithm: RoutingAlgorithm,
     pattern,
@@ -40,58 +175,21 @@ def find_saturation(
     low: float = 0.0,
     high: float = 8.0,
     iterations: int = 6,
+    runner: Optional[ParallelSweepRunner] = None,
 ) -> SaturationPoint:
     """Bisect offered load between ``low`` (sustainable) and ``high``.
 
     ``high`` must be unsustainable (it is probed and raised once if not).
     Each probe is a full simulation at the midpoint load; ``iterations``
     probes give a load resolution of ``(high - low) / 2**iterations``.
+    A runner parallelises nothing here (probes are sequential) but its
+    result cache makes repeated searches instant.
     """
-    if base_config is None:
-        base_config = SimulationConfig()
-
-    def probe(load: float) -> SimulationResult:
-        sim = WormholeSimulator(algorithm, pattern, base_config.with_load(load))
-        return sim.run()
-
-    probes = 0
-    best: Optional[SimulationResult] = None
-
-    top = probe(high)
-    probes += 1
-    if _sustainable(top):
-        high *= 2
-        top = probe(high)
-        probes += 1
-        if _sustainable(top):
-            # Treat the probed ceiling as the answer rather than searching
-            # an unbounded range.
-            return SaturationPoint(
-                algorithm=algorithm.name,
-                pattern=getattr(pattern, "name", type(pattern).__name__),
-                max_sustainable_load=high,
-                throughput_flits_per_us=top.throughput_flits_per_us,
-                latency_us=top.avg_latency_us,
-                probes=probes,
-            )
-
-    for _ in range(iterations):
-        mid = (low + high) / 2
-        result = probe(mid)
-        probes += 1
-        if _sustainable(result):
-            low = mid
-            best = result
-        else:
-            high = mid
-
-    return SaturationPoint(
-        algorithm=algorithm.name,
-        pattern=getattr(pattern, "name", type(pattern).__name__),
-        max_sustainable_load=low,
-        throughput_flits_per_us=(
-            best.throughput_flits_per_us if best is not None else 0.0
-        ),
-        latency_us=best.avg_latency_us if best is not None else None,
-        probes=probes,
-    )
+    return find_saturation_many(
+        [(algorithm, pattern)],
+        base_config=base_config,
+        low=low,
+        high=high,
+        iterations=iterations,
+        runner=runner,
+    )[0]

@@ -9,6 +9,12 @@ Commands:
 * ``sweep`` — a latency/throughput curve over several loads;
 * ``figure`` — regenerate one of the paper's figures (13-16).
 
+``sweep`` and ``figure`` route through the parallel experiment runner:
+``--jobs N`` fans the operating points over N worker processes and
+``--cache``/``--no-cache``/``--cache-dir``/``--force`` control the
+on-disk result cache (results are bit-identical either way; see
+docs/PERFORMANCE.md).
+
 Topology specs: ``mesh:16x16`` (any ``AxBxC...``), ``cube:8`` (binary
 n-cube), ``torus:8x2`` (k-ary n-cube, k then n).
 """
@@ -20,22 +26,19 @@ import sys
 from typing import List, Optional
 
 from .analysis import FAST, FIGURE_HARNESSES, FULL, format_figure
+from .analysis.runner import (
+    PATTERN_NAMES,
+    ParallelSweepRunner,
+    ResultCache,
+    make_pattern as _make_pattern,
+    parse_topology_spec,
+)
 from .analysis.sweep import run_sweep
 from .core.turn_model import TurnModel
 from .routing.registry import algorithm_names, make_algorithm
 from .simulation.config import SimulationConfig
 from .simulation.engine import WormholeSimulator
 from .topology.base import Topology
-from .topology.hypercube import Hypercube
-from .topology.mesh import mesh
-from .topology.torus import KAryNCube
-from .traffic.patterns import (
-    BitComplementPattern,
-    HypercubeTransposePattern,
-    MeshTransposePattern,
-    ReverseFlipPattern,
-    UniformPattern,
-)
 from .verification import check_connectivity, verify_algorithm
 from .viz import render_turn_set
 
@@ -46,47 +49,19 @@ TURN_MODELS = {
     "negative-first": TurnModel.negative_first,
 }
 
-PATTERN_NAMES = (
-    "uniform",
-    "transpose",
-    "reverse-flip",
-    "bit-complement",
-)
-
-
 def parse_topology(spec: str) -> Topology:
     """Parse ``mesh:16x16`` / ``cube:8`` / ``torus:8x2`` specs."""
     try:
-        kind, _, shape = spec.partition(":")
-        if kind == "mesh":
-            dims = tuple(int(part) for part in shape.split("x"))
-            return mesh(dims)
-        if kind == "cube":
-            return Hypercube(int(shape))
-        if kind == "torus":
-            k, n = (int(part) for part in shape.split("x"))
-            return KAryNCube(k, n)
-    except (ValueError, TypeError):
-        pass
-    raise SystemExit(
-        f"bad topology spec {spec!r}; expected mesh:AxB, cube:N, or torus:KxN"
-    )
+        return parse_topology_spec(spec)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
 
 
 def make_pattern(name: str, topology: Topology):
-    if name == "uniform":
-        return UniformPattern(topology)
-    if name == "transpose":
-        if isinstance(topology, Hypercube):
-            return HypercubeTransposePattern(topology)
-        return MeshTransposePattern(topology)
-    if name == "reverse-flip":
-        return ReverseFlipPattern(topology)
-    if name == "bit-complement":
-        return BitComplementPattern(topology)
-    raise SystemExit(
-        f"unknown pattern {name!r}; choose from {PATTERN_NAMES}"
-    )
+    try:
+        return _make_pattern(name, topology)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
 
 
 def cmd_list(args) -> int:
@@ -158,17 +133,35 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def _make_runner(args) -> ParallelSweepRunner:
+    """Build the experiment runner the sweep/figure commands route
+    through, from the shared ``--jobs``/``--cache*``/``--force`` flags."""
+    cache = None
+    if getattr(args, "cache", True):
+        cache = ResultCache(getattr(args, "cache_dir", None))
+    try:
+        return ParallelSweepRunner(
+            jobs=getattr(args, "jobs", 1),
+            cache=cache,
+            force=getattr(args, "force", False),
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
 def cmd_sweep(args) -> int:
     topology = parse_topology(args.topology)
     algorithm = make_algorithm(args.algorithm, topology)
     pattern = make_pattern(args.pattern, topology)
     loads = [float(part) for part in args.loads.split(",")]
+    runner = _make_runner(args)
     series = run_sweep(
         algorithm,
         pattern,
         loads,
         _config(args),
         progress=lambda r: print("  ", r.summary(), flush=True),
+        runner=runner,
     )
     print()
     for row in series.rows():
@@ -177,22 +170,37 @@ def cmd_sweep(args) -> int:
         f"max sustainable throughput: "
         f"{series.max_sustainable_throughput():.1f} flits/us"
     )
+    print(f"[{runner.stats.summary()}]")
     return 0
 
 
-def cmd_figure(args) -> int:
-    harness = FIGURE_HARNESSES.get(args.name)
+def _resolve_figure(name: str):
+    """Accept both ``fig13`` and the bare paper number ``13``."""
+    harness = FIGURE_HARNESSES.get(name)
+    if harness is None:
+        harness = FIGURE_HARNESSES.get(f"fig{name}")
+        if harness is not None:
+            name = f"fig{name}"
     if harness is None:
         raise SystemExit(
-            f"unknown figure {args.name!r}; choose from "
+            f"unknown figure {name!r}; choose from "
             f"{sorted(FIGURE_HARNESSES)}"
         )
-    preset = FULL if args.full else FAST
+    return name, harness
+
+
+def cmd_figure(args) -> int:
+    name, harness = _resolve_figure(args.name)
+    preset = FULL if (args.full or args.preset == "full") else FAST
+    runner = _make_runner(args)
     series = harness(
-        preset, progress=lambda r: print("  ...", r.summary(), flush=True)
+        preset,
+        progress=lambda r: print("  ...", r.summary(), flush=True),
+        runner=runner,
     )
     print()
-    print(format_figure(args.name, series))
+    print(format_figure(name, series))
+    print(f"[{runner.stats.summary()}]")
     return 0
 
 
@@ -234,12 +242,49 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--load", type=float, default=1.0)
         else:
             p.add_argument("--loads", default="0.5,1.0,1.5,2.0")
+            _add_runner_flags(p)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
-    p.add_argument("name")
-    p.add_argument("--full", action="store_true")
+    p.add_argument("name", help="fig13..fig16, or the bare number")
+    p.add_argument(
+        "--preset",
+        choices=("fast", "full"),
+        default="fast",
+        help="experiment preset (fast: reduced grid; full: denser/longer)",
+    )
+    p.add_argument(
+        "--full",
+        action="store_true",
+        help="alias for --preset full (kept for compatibility)",
+    )
+    _add_runner_flags(p)
 
     return parser
+
+
+def _add_runner_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the operating points (default 1)",
+    )
+    p.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="serve/record results in the on-disk cache (default on)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache location (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    p.add_argument(
+        "--force",
+        action="store_true",
+        help="re-simulate even on cache hits (refreshes the cache)",
+    )
 
 
 COMMANDS = {

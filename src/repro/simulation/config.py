@@ -18,8 +18,10 @@ Defaults reproduce the experimental setup of Section 6 of the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import Dict, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -133,3 +135,36 @@ class SimulationConfig:
         from dataclasses import replace
 
         return replace(self, seed=seed)
+
+    # -- stable serialization ------------------------------------------------
+    #
+    # The experiment runner keys its on-disk result cache by a content
+    # hash of the full operating point; these helpers give the config a
+    # canonical, field-order-independent byte representation so the hash
+    # is stable across processes and Python versions.
+
+    def to_dict(self) -> Dict[str, object]:
+        """All fields as JSON-serializable values (tuples become lists)."""
+        out: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationConfig":
+        """Inverse of :meth:`to_dict`."""
+        kwargs = dict(data)
+        if "message_lengths" in kwargs:
+            kwargs["message_lengths"] = tuple(kwargs["message_lengths"])  # type: ignore[arg-type]
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON encoding (sorted keys, no whitespace)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def stable_hash(self) -> str:
+        """SHA-256 hex digest of :meth:`canonical_json`."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()

@@ -1,0 +1,347 @@
+"""Tests for the parallel experiment runner and its on-disk cache."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import (
+    ExperimentPreset,
+    ParallelSweepRunner,
+    PointSpec,
+    ResultCache,
+    compare_algorithms,
+    figure13_mesh_uniform,
+    find_saturation,
+    find_saturation_many,
+    point_spec,
+    run_sweep,
+)
+from repro.analysis.runner import (
+    make_pattern,
+    parse_topology_spec,
+    topology_spec,
+)
+from repro.routing import WestFirst, XY
+from repro.simulation import SimulationConfig
+from repro.topology import Hypercube, KAryNCube, Mesh2D
+from repro.traffic import UniformPattern
+
+FAST = SimulationConfig(warmup_cycles=200, measure_cycles=800, seed=1)
+
+# Figure 13's harness (16x16 mesh, all four algorithms) at a reduced
+# fast preset so the equivalence tests stay in test-suite budget.
+TINY_FIG13 = ExperimentPreset(
+    warmup_cycles=200,
+    measure_cycles=600,
+    mesh_loads=(0.3, 0.6),
+    cube_loads=(0.5, 1.0),
+    seed=3,
+)
+
+
+def _spec(load=0.3, config=FAST, topo="mesh:5x5", alg="xy", pat="uniform"):
+    return PointSpec(topo, alg, pat, config.with_load(load))
+
+
+class TestSpecs:
+    def test_topology_spec_round_trips(self):
+        for topo in (Mesh2D(5, 3), Hypercube(4), KAryNCube(4, 2)):
+            spec = topology_spec(topo)
+            rebuilt = parse_topology_spec(spec)
+            assert type(rebuilt) is type(topo)
+            assert rebuilt.dims == topo.dims
+
+    def test_parse_rejects_bad_specs(self):
+        for bad in ("mesh", "ring:5", "mesh:ax2", "cube:"):
+            with pytest.raises(ValueError):
+                parse_topology_spec(bad)
+
+    def test_make_pattern_dispatches_transpose(self):
+        assert (
+            type(make_pattern("transpose", Mesh2D(4, 4))).__name__
+            == "MeshTransposePattern"
+        )
+        assert (
+            type(make_pattern("transpose", Hypercube(4))).__name__
+            == "HypercubeTransposePattern"
+        )
+        with pytest.raises(ValueError):
+            make_pattern("nope", Mesh2D(4, 4))
+
+    def test_point_spec_from_live_objects(self):
+        mesh = Mesh2D(5, 5)
+        spec = point_spec(WestFirst(mesh), UniformPattern(mesh), FAST)
+        assert spec == PointSpec("mesh:5x5", "west-first", "uniform", FAST)
+        algorithm, pattern = spec.build()
+        assert algorithm.name == "west-first"
+        assert pattern.name == "uniform"
+
+    def test_point_spec_rejects_unregistered_algorithm(self):
+        mesh = Mesh2D(4, 4)
+        rogue = XY(mesh)
+        rogue.__class__ = type(
+            "Rogue", (XY,), {"name": property(lambda self: "rogue")}
+        )
+        with pytest.raises(ValueError):
+            point_spec(rogue, UniformPattern(mesh), FAST)
+
+    def test_execute_matches_direct_simulation(self):
+        from repro.simulation import WormholeSimulator
+
+        mesh = Mesh2D(5, 5)
+        spec = _spec()
+        direct = WormholeSimulator(
+            XY(mesh), UniformPattern(mesh), FAST.with_load(0.3)
+        ).run()
+        assert spec.execute() == direct
+
+
+class TestCacheKey:
+    def test_key_is_deterministic(self):
+        assert _spec().cache_key() == _spec().cache_key()
+
+    def test_every_config_field_is_in_the_key(self):
+        base = _spec()
+        changed = {
+            "channel_bandwidth": 10.0,
+            "buffer_depth": 2,
+            "virtual_channels": 2,
+            "message_lengths": (16,),
+            "offered_load": 0.123,
+            "warmup_cycles": 201,
+            "measure_cycles": 801,
+            "seed": 2,
+            "input_selection": "random",
+            "output_selection": "random",
+            "misroute_limit": 1,
+            "deadlock_threshold": 4_999,
+            "queue_sample_period": 99,
+            "track_channel_load": True,
+            "max_queue_per_node": 499,
+        }
+        assert set(changed) == {
+            f.name for f in dataclasses.fields(SimulationConfig)
+        }
+        for name, value in changed.items():
+            config = dataclasses.replace(base.config, **{name: value})
+            assert (
+                dataclasses.replace(base, config=config).cache_key()
+                != base.cache_key()
+            ), f"changing {name} should change the cache key"
+
+    def test_topology_algorithm_pattern_in_the_key(self):
+        base = _spec()
+        assert _spec(topo="mesh:6x5").cache_key() != base.cache_key()
+        assert _spec(alg="west-first").cache_key() != base.cache_key()
+        assert _spec(pat="transpose").cache_key() != base.cache_key()
+
+    def test_config_stable_serialization_round_trips(self):
+        config = FAST.with_load(0.7)
+        rebuilt = SimulationConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        assert rebuilt.canonical_json() == config.canonical_json()
+        assert rebuilt.stable_hash() == config.stable_hash()
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        assert cache.get(spec) is None
+        result = spec.execute()
+        cache.put(spec, result)
+        assert cache.get(spec) == result
+        assert len(cache) == 1
+
+    def test_distinct_specs_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        cache.put(spec, spec.execute())
+        assert cache.get(_spec(load=0.4)) is None
+        assert cache.get(_spec(config=FAST.with_seed(2))) is None
+
+    def test_corrupted_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        path = cache.put(spec, spec.execute())
+        path.write_bytes(b"not a pickle")
+        assert cache.get(spec) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        cache.put(spec, spec.execute())
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestRunner:
+    def test_parallel_results_bit_identical_to_serial(self):
+        mesh = Mesh2D(16, 16)
+        loads = TINY_FIG13.mesh_loads
+        config = TINY_FIG13.config()
+        serial = run_sweep(XY(mesh), UniformPattern(mesh), loads, config)
+        runner = ParallelSweepRunner(jobs=2, cache=None)
+        parallel = run_sweep(
+            XY(mesh), UniformPattern(mesh), loads, config, runner=runner
+        )
+        assert parallel.results == serial.results
+        assert runner.stats.executed == len(loads)
+
+    def test_figure13_harness_parallel_equivalence(self):
+        serial = figure13_mesh_uniform(TINY_FIG13)
+        runner = ParallelSweepRunner(jobs=2, cache=None)
+        parallel = figure13_mesh_uniform(TINY_FIG13, runner=runner)
+        assert [s.algorithm for s in parallel] == [
+            s.algorithm for s in serial
+        ]
+        for par, ser in zip(parallel, serial):
+            assert par.results == ser.results
+        assert runner.stats.executed == 4 * len(TINY_FIG13.mesh_loads)
+
+    def test_second_run_is_served_entirely_from_cache(self, tmp_path):
+        runner = ParallelSweepRunner(jobs=2, cache=ResultCache(tmp_path))
+        mesh = Mesh2D(6, 6)
+        first = run_sweep(
+            XY(mesh), UniformPattern(mesh), [0.2, 0.5], FAST, runner=runner
+        )
+        assert runner.stats.executed == 2
+
+        rerun = ParallelSweepRunner(jobs=2, cache=ResultCache(tmp_path))
+        second = run_sweep(
+            XY(mesh), UniformPattern(mesh), [0.2, 0.5], FAST, runner=rerun
+        )
+        assert rerun.stats.executed == 0
+        assert rerun.stats.cached == 2
+        assert second.results == first.results
+
+    def test_changing_any_knob_misses_the_cache(self, tmp_path):
+        mesh = Mesh2D(6, 6)
+        runner = ParallelSweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        run_sweep(XY(mesh), UniformPattern(mesh), [0.2], FAST, runner=runner)
+        # Different seed -> different operating point -> a fresh run.
+        run_sweep(
+            XY(mesh),
+            UniformPattern(mesh),
+            [0.2],
+            FAST.with_seed(9),
+            runner=runner,
+        )
+        # Different topology -> also a fresh run.
+        other = Mesh2D(7, 6)
+        run_sweep(
+            XY(other), UniformPattern(other), [0.2], FAST, runner=runner
+        )
+        assert runner.stats.executed == 3
+        assert runner.stats.cached == 0
+
+    def test_force_re_executes_and_refreshes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        runner = ParallelSweepRunner(jobs=1, cache=cache)
+        runner.run_point(spec)
+        forced = ParallelSweepRunner(jobs=1, cache=cache, force=True)
+        forced.run_point(spec)
+        assert forced.stats.executed == 1
+        assert forced.stats.cached == 0
+
+    def test_progress_fires_for_cached_and_executed(self, tmp_path):
+        runner = ParallelSweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        seen = []
+        runner.run_points([_spec(), _spec(load=0.4)], progress=seen.append)
+        runner.run_points([_spec(), _spec(load=0.4)], progress=seen.append)
+        assert len(seen) == 4
+
+    def test_compare_algorithms_batches_through_runner(self):
+        mesh = Mesh2D(5, 5)
+        runner = ParallelSweepRunner(jobs=2, cache=None)
+        series = compare_algorithms(
+            [XY(mesh), WestFirst(mesh)],
+            lambda topo: UniformPattern(topo),
+            [0.3],
+            FAST,
+            runner=runner,
+        )
+        assert [s.algorithm for s in series] == ["xy", "west-first"]
+        assert runner.stats.executed == 2
+        baseline = compare_algorithms(
+            [XY(mesh), WestFirst(mesh)],
+            lambda topo: UniformPattern(topo),
+            [0.3],
+            FAST,
+        )
+        for with_runner, serial in zip(series, baseline):
+            assert with_runner.results == serial.results
+
+    def test_unspecable_objects_fall_back_to_serial(self):
+        mesh = Mesh2D(5, 5)
+
+        class Anonymous(UniformPattern):
+            @property
+            def name(self):
+                return "anonymous"
+
+        runner = ParallelSweepRunner(jobs=2, cache=None)
+        series = run_sweep(
+            XY(mesh), Anonymous(mesh), [0.3], FAST, runner=runner
+        )
+        assert len(series.results) == 1
+        assert runner.stats.points == 0  # runner was bypassed
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            ParallelSweepRunner(jobs=0)
+
+    def test_stats_summary_renders(self):
+        runner = ParallelSweepRunner(jobs=1, cache=None)
+        runner.run_points([_spec()])
+        text = runner.stats.summary()
+        assert "1 points" in text and "simulated" in text
+
+
+class TestSaturationThroughRunner:
+    def test_find_saturation_matches_serial(self, tmp_path):
+        mesh = Mesh2D(6, 6)
+        serial = find_saturation(
+            XY(mesh), UniformPattern(mesh), FAST, high=16.0, iterations=4
+        )
+        runner = ParallelSweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        routed = find_saturation(
+            XY(mesh),
+            UniformPattern(mesh),
+            FAST,
+            high=16.0,
+            iterations=4,
+            runner=runner,
+        )
+        assert routed == serial
+        assert runner.stats.executed == serial.probes
+
+        # A repeated search is answered entirely from cache.
+        rerun = ParallelSweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        again = find_saturation(
+            XY(mesh),
+            UniformPattern(mesh),
+            FAST,
+            high=16.0,
+            iterations=4,
+            runner=rerun,
+        )
+        assert again == serial
+        assert rerun.stats.executed == 0
+
+    def test_find_saturation_many_matches_single_searches(self):
+        mesh = Mesh2D(5, 5)
+        pairs = [
+            (XY(mesh), UniformPattern(mesh)),
+            (WestFirst(mesh), UniformPattern(mesh)),
+        ]
+        singles = [
+            find_saturation(a, p, FAST, high=16.0, iterations=3)
+            for a, p in pairs
+        ]
+        runner = ParallelSweepRunner(jobs=2, cache=None)
+        many = find_saturation_many(
+            pairs, FAST, high=16.0, iterations=3, runner=runner
+        )
+        assert many == singles

@@ -40,6 +40,20 @@ class TestSweep:
         rows = series.rows()
         assert any("xy" in r for r in rows)
 
+    def test_rows_distinguish_close_low_loads(self):
+        # Regression: a one-decimal offered-load column collapsed 0.02
+        # and 0.04 flits/us/node into identical rows on small networks.
+        mesh = Mesh2D(4, 4)
+        series = run_sweep(
+            XY(mesh), UniformPattern(mesh), [0.002, 0.004], FAST
+        )
+        offered_cells = [
+            row.split()[0] for row in series.rows()[1:]
+        ]
+        assert len(set(offered_cells)) == 2, (
+            f"rows collapsed distinct offered loads: {offered_cells}"
+        )
+
     def test_max_sustainable_picks_sustainable_points_only(self):
         results = run_sweep(
             XY(Mesh2D(5, 5)), UniformPattern(Mesh2D(5, 5)), [0.2], FAST

@@ -101,13 +101,77 @@ class TestCommands:
         from repro.analysis.sweep import SweepSeries
         import repro.cli as cli
 
-        def fake_harness(preset, progress=None):
+        def fake_harness(preset, progress=None, runner=None):
             return [SweepSeries("xy", "uniform", [])]
 
         monkeypatch.setitem(cli.FIGURE_HARNESSES, "fig13", fake_harness)
         assert main(["figure", "fig13"]) == 0
         out = capsys.readouterr().out
         assert "fig13" in out and "xy" in out
+
+    def test_figure_accepts_bare_paper_number(self, capsys, monkeypatch):
+        from repro.analysis.sweep import SweepSeries
+        import repro.cli as cli
+
+        seen = {}
+
+        def fake_harness(preset, progress=None, runner=None):
+            seen["preset"] = preset
+            seen["runner"] = runner
+            return [SweepSeries("xy", "uniform", [])]
+
+        monkeypatch.setitem(cli.FIGURE_HARNESSES, "fig13", fake_harness)
+        assert main(["figure", "13", "--no-cache", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out
+        assert seen["runner"].jobs == 2
+        assert seen["runner"].cache is None
+
+    def test_figure_preset_full(self, capsys, monkeypatch):
+        from repro.analysis import FULL
+        from repro.analysis.sweep import SweepSeries
+        import repro.cli as cli
+
+        seen = {}
+
+        def fake_harness(preset, progress=None, runner=None):
+            seen["preset"] = preset
+            return [SweepSeries("xy", "uniform", [])]
+
+        monkeypatch.setitem(cli.FIGURE_HARNESSES, "fig13", fake_harness)
+        assert main(["figure", "13", "--preset", "full", "--no-cache"]) == 0
+        assert seen["preset"] is FULL
+
+    def test_sweep_parallel_with_cache_dir(self, capsys, tmp_path):
+        argv = [
+            "sweep", "xy",
+            "--topology", "mesh:4x4",
+            "--loads", "0.3,0.6",
+            "--warmup", "100",
+            "--cycles", "400",
+            "--jobs", "2",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "2 simulated, 0 cached" in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 simulated, 2 cached" in second
+
+        # The cached table rows are byte-identical to the simulated ones
+        # (progress lines are excluded: with --jobs 2 they print in
+        # completion order, which is not deterministic).
+        import re
+
+        table = lambda out: [  # noqa: E731
+            line
+            for line in out.splitlines()
+            if re.match(r"^\s+\d", line)
+        ]
+        assert table(first) == table(second)
+        assert len(table(first)) == 2
 
     def test_verify_reports_cycle_for_unsafe_relation(self, capsys):
         # The torus classified-NF is safe; spot-check the exit code of a
