@@ -17,7 +17,9 @@ The package provides:
 * :mod:`repro.traffic` — uniform, matrix-transpose, and reverse-flip
   workloads (plus extras);
 * :mod:`repro.analysis` — load sweeps, saturation search, and one harness
-  per paper figure/table.
+  per paper figure/table;
+* :mod:`repro.faults` — deterministic fault-injection plans, runtime
+  fault state, and fault-aware routing wrappers (see docs/FAULTS.md).
 
 Quickstart::
 
@@ -62,6 +64,12 @@ from .routing import (
     XY,
     make_algorithm,
 )
+from .faults import (
+    FaultAwareRouting,
+    FaultEvent,
+    FaultPlan,
+    FaultState,
+)
 from .simulation import (
     SimulationConfig,
     SimulationResult,
@@ -105,6 +113,10 @@ __all__ = [
     "Direction",
     "ECube",
     "EscapeVCAdaptive",
+    "FaultAwareRouting",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultState",
     "FirstHopWraparound",
     "Hypercube",
     "HypercubeTransposePattern",

@@ -29,6 +29,12 @@ from .runner import (
     point_spec,
     topology_spec,
 )
+from .faultsweep import (
+    FaultCampaign,
+    FaultCell,
+    campaign_config,
+    run_fault_campaign,
+)
 from .saturation import SaturationPoint, find_saturation, find_saturation_many
 from .series import (
     format_figure,
@@ -44,6 +50,8 @@ __all__ = [
     "FAST",
     "FIGURE_HARNESSES",
     "FULL",
+    "FaultCampaign",
+    "FaultCell",
     "ParallelSweepRunner",
     "PointSpec",
     "ResultCache",
@@ -52,6 +60,7 @@ __all__ = [
     "SweepSeries",
     "ThroughputRatio",
     "adaptive_vs_nonadaptive",
+    "campaign_config",
     "compare_algorithms",
     "default_cache_dir",
     "figure13_mesh_uniform",
@@ -68,6 +77,7 @@ __all__ = [
     "parse_topology_spec",
     "point_spec",
     "render_latency_chart",
+    "run_fault_campaign",
     "run_sweep",
     "section5_pcube_table",
     "topology_spec",

@@ -44,11 +44,20 @@ class ExperimentPreset:
     cube_loads: Sequence[float]
     seed: int = 7
 
+    # Robustness knobs (threaded through from the ``figure`` CLI; the
+    # defaults reproduce the paper's fault-free runs).
+    deadlock_threshold: int = 5_000
+    packet_timeout: int = 0
+    max_retries: int = 0
+
     def config(self) -> SimulationConfig:
         return SimulationConfig(
             warmup_cycles=self.warmup_cycles,
             measure_cycles=self.measure_cycles,
             seed=self.seed,
+            deadlock_threshold=self.deadlock_threshold,
+            packet_timeout=self.packet_timeout,
+            max_retries=self.max_retries,
         )
 
 

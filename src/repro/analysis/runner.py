@@ -56,8 +56,13 @@ from ..traffic.patterns import (
     UniformPattern,
 )
 
-CACHE_SCHEMA = 1
-"""Bumped whenever the cached payload layout changes; part of every key."""
+CACHE_SCHEMA = 2
+"""Bumped whenever the cached payload layout changes; part of every key.
+
+Schema 2: :class:`SimulationResult` grew the graceful-degradation fields
+(drops by cause, kill/retry counts, max stall age) and
+:class:`SimulationConfig` the fault-injection knobs — entries cached by
+schema-1 code must not be silently reused (see docs/PERFORMANCE.md)."""
 
 ProgressCallback = Callable[[SimulationResult], None]
 

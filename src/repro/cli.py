@@ -7,13 +7,16 @@ Commands:
 * ``turns`` — render a named prohibition set (Figures 3/5a/9a/10a);
 * ``simulate`` — one operating point (algorithm, pattern, load);
 * ``sweep`` — a latency/throughput curve over several loads;
-* ``figure`` — regenerate one of the paper's figures (13-16).
+* ``figure`` — regenerate one of the paper's figures (13-16);
+* ``faults`` — a seeded fault-injection campaign: delivery ratio, drops
+  by cause, and retries vs. the number of failed links, per algorithm
+  (see docs/FAULTS.md).
 
-``sweep`` and ``figure`` route through the parallel experiment runner:
-``--jobs N`` fans the operating points over N worker processes and
-``--cache``/``--no-cache``/``--cache-dir``/``--force`` control the
-on-disk result cache (results are bit-identical either way; see
-docs/PERFORMANCE.md).
+``sweep``, ``figure``, and ``faults`` route through the parallel
+experiment runner: ``--jobs N`` fans the operating points over N worker
+processes and ``--cache``/``--no-cache``/``--cache-dir``/``--force``
+control the on-disk result cache (results are bit-identical either way;
+see docs/PERFORMANCE.md).
 
 Topology specs: ``mesh:16x16`` (any ``AxBxC...``), ``cube:8`` (binary
 n-cube), ``torus:8x2`` (k-ary n-cube, k then n).
@@ -22,10 +25,16 @@ n-cube), ``torus:8x2`` (k-ary n-cube, k then n).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from .analysis import FAST, FIGURE_HARNESSES, FULL, format_figure
+from .analysis.faultsweep import (
+    DEFAULT_ALGORITHMS,
+    campaign_config,
+    run_fault_campaign,
+)
 from .analysis.runner import (
     PATTERN_NAMES,
     ParallelSweepRunner,
@@ -107,6 +116,32 @@ def cmd_turns(args) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: an integer that must be strictly positive."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    """argparse type: an integer that must be >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {value}"
+        )
+    return value
+
+
 def _config(args) -> SimulationConfig:
     return SimulationConfig(
         offered_load=getattr(args, "load", 1.0),
@@ -115,6 +150,11 @@ def _config(args) -> SimulationConfig:
         seed=args.seed,
         buffer_depth=args.buffer_depth,
         virtual_channels=getattr(args, "vc", 1),
+        deadlock_threshold=getattr(args, "deadlock_threshold", 5_000),
+        packet_timeout=getattr(args, "packet_timeout", 0),
+        max_retries=getattr(args, "max_retries", 0),
+        retry_backoff_base=getattr(args, "retry_backoff_base", 32),
+        retry_backoff_cap=getattr(args, "retry_backoff_cap", 2_048),
     )
 
 
@@ -190,8 +230,17 @@ def _resolve_figure(name: str):
 
 
 def cmd_figure(args) -> int:
+    from dataclasses import replace
+
     name, harness = _resolve_figure(args.name)
     preset = FULL if (args.full or args.preset == "full") else FAST
+    overrides = {
+        knob: getattr(args, knob)
+        for knob in ("deadlock_threshold", "packet_timeout", "max_retries")
+        if getattr(args, knob) != getattr(preset, knob)
+    }
+    if overrides:
+        preset = replace(preset, **overrides)
     runner = _make_runner(args)
     series = harness(
         preset,
@@ -201,6 +250,55 @@ def cmd_figure(args) -> int:
     print()
     print(format_figure(name, series))
     print(f"[{runner.stats.summary()}]")
+    return 0
+
+
+def cmd_faults(args) -> int:
+    algorithms = [part.strip() for part in args.algorithms.split(",") if part.strip()]
+    if not algorithms:
+        raise SystemExit("--algorithms must name at least one algorithm")
+    try:
+        fault_counts = [int(part) for part in args.faults.split(",")]
+    except ValueError:
+        raise SystemExit(f"bad --faults list {args.faults!r}")
+    config = campaign_config(
+        offered_load=args.load,
+        warmup_cycles=args.warmup,
+        measure_cycles=args.cycles,
+        seed=args.seed,
+        packet_timeout=args.packet_timeout,
+        max_retries=args.max_retries,
+        drain_cycles=args.drain,
+        retry_backoff_base=args.retry_backoff_base,
+        retry_backoff_cap=args.retry_backoff_cap,
+        deadlock_threshold=args.deadlock_threshold,
+    )
+    runner = _make_runner(args)
+    progress = None
+    if not args.json:
+        progress = lambda r: print("  ...", r.summary(), flush=True)  # noqa: E731
+    try:
+        campaign = run_fault_campaign(
+            topology=args.topology,
+            algorithms=algorithms,
+            pattern=args.pattern,
+            fault_counts=fault_counts,
+            trials=args.trials,
+            base_config=config,
+            seed=args.campaign_seed,
+            fault_start=args.fault_start,
+            runner=runner,
+            progress=progress,
+        )
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(str(exc)) from exc
+    if args.json:
+        print(json.dumps(campaign.to_dict(), indent=2, sort_keys=True))
+    else:
+        print()
+        for row in campaign.rows():
+            print(row)
+        print(f"[{runner.stats.summary()}]")
     return 0
 
 
@@ -238,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--vc", type=int, default=1, help="virtual channels per link"
         )
+        _add_robustness_flags(p)
         if name == "simulate":
             p.add_argument("--load", type=float, default=1.0)
         else:
@@ -257,9 +356,106 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="alias for --preset full (kept for compatibility)",
     )
+    _add_robustness_flags(p)
+    _add_runner_flags(p)
+
+    p = sub.add_parser(
+        "faults", help="seeded fault-injection campaign (docs/FAULTS.md)"
+    )
+    p.add_argument("--topology", default="mesh:16x16")
+    p.add_argument(
+        "--algorithms",
+        default=",".join(DEFAULT_ALGORITHMS),
+        help="comma-separated routing algorithms to compare",
+    )
+    p.add_argument("--pattern", default="uniform")
+    p.add_argument(
+        "--faults",
+        default="1,2,4,8",
+        help="comma-separated failed-link counts to sweep",
+    )
+    p.add_argument(
+        "--trials",
+        type=_positive_int,
+        default=3,
+        help="fault plans drawn per fault count (default 3)",
+    )
+    p.add_argument("--load", type=float, default=0.5)
+    p.add_argument("--warmup", type=int, default=500)
+    p.add_argument("--cycles", type=int, default=4_000)
+    p.add_argument(
+        "--drain",
+        type=_non_negative_int,
+        default=3_000,
+        help="post-measurement cycles to let in-flight packets resolve",
+    )
+    p.add_argument("--seed", type=int, default=1, help="simulation seed")
+    p.add_argument(
+        "--campaign-seed",
+        type=int,
+        default=0,
+        help="seed the per-trial fault plans derive from",
+    )
+    p.add_argument(
+        "--fault-start",
+        type=_non_negative_int,
+        default=0,
+        help="cycle the failures appear at (0 = broken from the start)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the campaign as JSON instead of the text report",
+    )
+    _add_robustness_flags(
+        p, packet_timeout_default=800, max_retries_default=2
+    )
     _add_runner_flags(p)
 
     return parser
+
+
+def _add_robustness_flags(
+    p: argparse.ArgumentParser,
+    packet_timeout_default: int = 0,
+    max_retries_default: int = 0,
+) -> None:
+    """The watchdog/retry knobs shared by simulate/sweep/figure/faults.
+
+    Validation lives in the argparse types: non-positive
+    ``--deadlock-threshold`` or backoff values are rejected with a clear
+    error instead of surfacing as a config ValueError deep in a worker.
+    """
+    p.add_argument(
+        "--deadlock-threshold",
+        type=_positive_int,
+        default=5_000,
+        help="cycles of global silence before declaring deadlock",
+    )
+    p.add_argument(
+        "--packet-timeout",
+        type=_non_negative_int,
+        default=packet_timeout_default,
+        help="per-packet stall watchdog in cycles (0 disables)",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=_non_negative_int,
+        default=max_retries_default,
+        help="source retries after a drop (0 disables)",
+    )
+    p.add_argument(
+        "--retry-backoff-base",
+        type=_positive_int,
+        default=32,
+        help="cycles before the first retry (doubles per attempt)",
+    )
+    p.add_argument(
+        "--retry-backoff-cap",
+        type=_positive_int,
+        default=2_048,
+        help="upper bound on the retry backoff delay",
+    )
 
 
 def _add_runner_flags(p: argparse.ArgumentParser) -> None:
@@ -294,6 +490,7 @@ COMMANDS = {
     "simulate": cmd_simulate,
     "sweep": cmd_sweep,
     "figure": cmd_figure,
+    "faults": cmd_faults,
 }
 
 

@@ -1,0 +1,33 @@
+"""Runtime fault injection for the wormhole simulator.
+
+* :mod:`repro.faults.plan` — deterministic, seed-derived fault schedules
+  (:class:`FaultPlan`, :class:`FaultEvent`) that serialize into
+  :class:`~repro.simulation.config.SimulationConfig`;
+* :mod:`repro.faults.state` — the live dead-channel/dead-router view a
+  running simulation maintains;
+* :mod:`repro.faults.routing` — :class:`FaultAwareRouting`, masking dead
+  candidates out of any routing algorithm.
+
+See ``docs/FAULTS.md`` for the fault model and the graceful-degradation
+semantics (per-packet watchdog, source retry with bounded backoff).
+"""
+
+from .plan import (
+    CHANNEL_FAULT,
+    PERMANENT,
+    ROUTER_FAULT,
+    FaultEvent,
+    FaultPlan,
+)
+from .routing import FaultAwareRouting
+from .state import FaultState
+
+__all__ = [
+    "CHANNEL_FAULT",
+    "FaultAwareRouting",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultState",
+    "PERMANENT",
+    "ROUTER_FAULT",
+]

@@ -23,6 +23,8 @@ import json
 from dataclasses import dataclass, field, fields
 from typing import Dict, Sequence, Tuple
 
+from ..faults.plan import FaultPlan
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -58,6 +60,13 @@ class SimulationConfig:
     seed: int = 0
     """Seed for the run's private random generator."""
 
+    drain_cycles: int = 0
+    """Extra cycles simulated after the measurement window with message
+    generation switched off, letting in-flight packets deliver (or the
+    watchdogs drop them) so delivery ratios are not diluted by worms that
+    simply ran out of simulated time.  Fault campaigns use this; the
+    paper's throughput runs keep it 0."""
+
     input_selection: str = "fcfs"
     """Arbitration among headers contending for one output channel
     (paper: local first-come-first-served)."""
@@ -86,6 +95,31 @@ class SimulationConfig:
     """Safety valve: stop generating at a node whose backlog exceeds this
     (the run is long past saturation by then)."""
 
+    # -- fault injection and graceful degradation ----------------------------
+
+    fault_plan: FaultPlan = FaultPlan()
+    """Schedule of channel/router failures applied while the simulation
+    runs (see :mod:`repro.faults`).  The default empty plan leaves the
+    engine bit-identical to a fault-free build."""
+
+    packet_timeout: int = 0
+    """Per-packet watchdog: a header that has waited this many cycles
+    without a grant is dropped (with a wait-for-graph diagnosis).  0
+    disables the watchdog — the paper's fault-free runs rely on the
+    global ``deadlock_threshold`` alone."""
+
+    max_retries: int = 0
+    """Source retries for dropped/killed packets.  After a drop, the
+    source re-queues a fresh copy after a bounded exponential backoff;
+    once the attempts are exhausted the packet is permanently lost."""
+
+    retry_backoff_base: int = 32
+    """Backoff before retry attempt ``k`` is ``min(base << k, cap)``
+    cycles (deterministic — retries never perturb the run's RNG)."""
+
+    retry_backoff_cap: int = 2_048
+    """Upper bound on the retry backoff delay, in cycles."""
+
     def __post_init__(self) -> None:
         if self.channel_bandwidth <= 0:
             raise ValueError("channel_bandwidth must be positive")
@@ -101,8 +135,28 @@ class SimulationConfig:
             raise ValueError("offered_load must be non-negative")
         if self.warmup_cycles < 0 or self.measure_cycles <= 0:
             raise ValueError("cycle counts must be positive")
+        if self.drain_cycles < 0:
+            raise ValueError("drain_cycles must be non-negative")
         if self.misroute_limit < 0:
             raise ValueError("misroute_limit must be non-negative")
+        if self.deadlock_threshold <= 0:
+            raise ValueError("deadlock_threshold must be positive")
+        if self.queue_sample_period <= 0:
+            raise ValueError("queue_sample_period must be positive")
+        if isinstance(self.fault_plan, dict):
+            object.__setattr__(
+                self, "fault_plan", FaultPlan.from_dict(self.fault_plan)
+            )
+        if not isinstance(self.fault_plan, FaultPlan):
+            raise ValueError(
+                f"fault_plan must be a FaultPlan, got {self.fault_plan!r}"
+            )
+        if self.packet_timeout < 0:
+            raise ValueError("packet_timeout must be non-negative (0 disables)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.retry_backoff_base <= 0 or self.retry_backoff_cap <= 0:
+            raise ValueError("retry backoff base and cap must be positive")
 
     # -- derived quantities --------------------------------------------------
 
@@ -122,8 +176,13 @@ class SimulationConfig:
         return flits_per_cycle / self.mean_message_length
 
     @property
-    def total_cycles(self) -> int:
+    def generation_cycles(self) -> int:
+        """Cycles during which sources generate traffic."""
         return self.warmup_cycles + self.measure_cycles
+
+    @property
+    def total_cycles(self) -> int:
+        return self.warmup_cycles + self.measure_cycles + self.drain_cycles
 
     def with_load(self, offered_load: float) -> "SimulationConfig":
         """Copy of this config at a different offered load."""
@@ -135,6 +194,12 @@ class SimulationConfig:
         from dataclasses import replace
 
         return replace(self, seed=seed)
+
+    def with_faults(self, fault_plan: FaultPlan) -> "SimulationConfig":
+        """Copy of this config under a different fault schedule."""
+        from dataclasses import replace
+
+        return replace(self, fault_plan=fault_plan)
 
     # -- stable serialization ------------------------------------------------
     #
@@ -150,6 +215,8 @@ class SimulationConfig:
             value = getattr(self, f.name)
             if isinstance(value, tuple):
                 value = list(value)
+            elif isinstance(value, FaultPlan):
+                value = value.to_dict()
             out[f.name] = value
         return out
 
@@ -159,6 +226,8 @@ class SimulationConfig:
         kwargs = dict(data)
         if "message_lengths" in kwargs:
             kwargs["message_lengths"] = tuple(kwargs["message_lengths"])  # type: ignore[arg-type]
+        if isinstance(kwargs.get("fault_plan"), dict):
+            kwargs["fault_plan"] = FaultPlan.from_dict(kwargs["fault_plan"])  # type: ignore[arg-type]
         return cls(**kwargs)  # type: ignore[arg-type]
 
     def canonical_json(self) -> str:

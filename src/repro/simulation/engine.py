@@ -23,6 +23,18 @@ A watchdog records the last cycle on which any flit moved or channel was
 granted; silence beyond ``config.deadlock_threshold`` with flits still in
 flight is reported as deadlock (used by the Figure 1/Figure 4
 demonstrations; the turn-model algorithms never trip it).
+
+**Fault injection and graceful degradation** (see docs/FAULTS.md): a
+:class:`~repro.faults.plan.FaultPlan` in the config schedules channel and
+router failures mid-run.  Worms holding a failed channel (or touching a
+failed router) are killed with full accounting; surviving traffic routes
+around the fault through the :class:`~repro.faults.routing.
+FaultAwareRouting` mask.  A per-packet watchdog (``config.packet_timeout``)
+drops headers that stall too long, diagnosing each drop against the
+wait-for graph; dropped packets are retried from the source with bounded
+exponential backoff (``config.max_retries``).  With the default empty
+plan and the watchdog/retry knobs at zero, every fault hook is skipped
+and the simulation is bit-identical to the fault-free engine.
 """
 
 from __future__ import annotations
@@ -31,6 +43,9 @@ import random
 from collections import deque
 from typing import Deque, Dict, List, Optional, Set
 
+from ..faults.plan import CHANNEL_FAULT, FAIL
+from ..faults.routing import FaultAwareRouting
+from ..faults.state import FaultState
 from ..routing.base import RoutingAlgorithm
 from ..topology.base import Direction, Topology
 from .config import SimulationConfig
@@ -99,6 +114,18 @@ class WormholeSimulator:
             [0] * len(self.channels) if config.track_channel_load else None
         )
 
+        # Fault injection: a live fault state plus the plan's schedule.
+        # With the (default) empty plan both stay empty/None and every
+        # fault hook below short-circuits, keeping the zero-fault path
+        # bit-identical to the fault-free engine.
+        self.fault_state: Optional[FaultState] = None
+        self._fault_schedule: Dict[int, list] = {}
+        if not config.fault_plan.is_empty:
+            self.fault_state = FaultState(self.topology)
+            self._fault_schedule = config.fault_plan.schedule()
+            self.algorithm = FaultAwareRouting(algorithm, self.fault_state)
+        self._retry_at: Dict[int, List[Packet]] = {}  # cycle -> retries due
+
         self.result = SimulationResult(
             algorithm=algorithm.name,
             pattern=getattr(pattern, "name", type(pattern).__name__),
@@ -117,10 +144,7 @@ class WormholeSimulator:
         total = config.total_cycles
         for cycle in range(total):
             self.cycle = cycle
-            self._generate(cycle)
-            self._inject(cycle)
-            self._arbitrate(cycle)
-            self._move(cycle)
+            self._cycle_body(cycle)
             if (
                 cycle >= config.warmup_cycles
                 and (cycle - config.warmup_cycles) % config.queue_sample_period == 0
@@ -134,27 +158,49 @@ class WormholeSimulator:
                 break
         self.result.inflight_at_end = len(self.active)
         self.result.channel_flits = self.channel_load
+        for packet in self.waiting:  # headers still stalled at the end
+            age = self.cycle - packet.header_wait_since
+            if age > self.result.max_stall_age_cycles:
+                self.result.max_stall_age_cycles = age
         return self.result
 
     def step(self) -> None:
         """Advance a single cycle (for tests and interactive inspection)."""
-        self._generate(self.cycle)
-        self._inject(self.cycle)
-        self._arbitrate(self.cycle)
-        self._move(self.cycle)
+        self._cycle_body(self.cycle)
         self.cycle += 1
+
+    def _cycle_body(self, cycle: int) -> None:
+        """One simulator cycle: faults, retries, then the three stages."""
+        if self._fault_schedule:
+            self._apply_faults(cycle)
+        if self._retry_at:
+            for packet in self._retry_at.pop(cycle, ()):
+                self._requeue(packet)
+        self._generate(cycle)
+        self._inject(cycle)
+        self._arbitrate(cycle)
+        self._move(cycle)
+        if self.config.packet_timeout and self.waiting:
+            self._check_packet_timeouts(cycle)
 
     # -- stage 1: generation and injection ------------------------------------
 
     def _generate(self, cycle: int) -> None:
         if self.config.messages_per_cycle <= 0:
             return
+        if cycle >= self.config.generation_cycles:
+            return  # drain window: let in-flight traffic finish
         rate = self.config.messages_per_cycle
         lengths = self.config.message_lengths
+        dead_routers = (
+            self.fault_state.dead_routers if self.fault_state is not None else ()
+        )
         for node in self.sources:
             when = self.next_arrival[node]
             while when <= cycle:
                 when += self.rng.expovariate(rate)
+                if node in dead_routers:
+                    continue  # a dead router offers no traffic
                 if len(self.queues[node]) >= self.config.max_queue_per_node:
                     continue
                 dst = self.pattern.dest(node, self.rng)
@@ -197,13 +243,29 @@ class WormholeSimulator:
     def _inject(self, cycle: int) -> None:
         if not self.pending_nodes:
             return
+        fault_state = self.fault_state
         for node in list(self.pending_nodes):
             queue = self.queues[node]
             if not queue or self.injection_busy[node] is not None:
                 self.pending_nodes.discard(node)
                 continue
+            if fault_state is not None and node in fault_state.dead_routers:
+                # A dead router cannot inject; its queue waits for a heal.
+                self.pending_nodes.discard(node)
+                continue
             packet = queue.popleft()
             self._backlog -= 1
+            if (
+                fault_state is not None
+                and packet.dst in fault_state.dead_routers
+            ):
+                # Drop at the source instead of wasting network resources
+                # on an unreachable destination (it may heal before a
+                # retry, so retries still apply).
+                self._finish_drop(packet, cycle, "dead-destination")
+                if not queue:
+                    self.pending_nodes.discard(node)
+                continue
             self.injection_busy[node] = packet
             packet.state = PacketState.ROUTING
             packet.header_wait_since = cycle
@@ -420,6 +482,149 @@ class WormholeSimulator:
         self.injection_busy[node] = None
         if self.queues[node]:
             self.pending_nodes.add(node)
+
+    # -- fault injection, per-packet watchdog, and retries ---------------------
+
+    def _apply_faults(self, cycle: int) -> None:
+        """Fire the fault plan's scheduled changes for this cycle."""
+        events = self._fault_schedule.pop(cycle, None)
+        if not events:
+            return
+        state = self.fault_state
+        assert state is not None
+        for action, event in events:
+            if event.kind == CHANNEL_FAULT:
+                if action == FAIL:
+                    state.fail_channel(event.node, event.direction)
+                    self._kill_channel_holders(event, cycle)
+                else:
+                    state.heal_channel(event.node, event.direction)
+            else:
+                if action == FAIL:
+                    state.fail_router(event.node)
+                    self._kill_router_worms(event.node, cycle)
+                    self.pending_nodes.discard(event.node)
+                else:
+                    state.heal_router(event.node)
+                    if (
+                        self.queues[event.node]
+                        and self.injection_busy[event.node] is None
+                    ):
+                        self.pending_nodes.add(event.node)
+
+    def _kill_channel_holders(self, event, cycle: int) -> None:
+        """Kill every worm holding a virtual channel of the failed link."""
+        base = self.channel_ids.get((event.node, event.direction))
+        if base is None:
+            return  # plan references a channel this topology lacks
+        for cid in range(base, base + self.num_vc):
+            packet = self.channel_alloc[cid]
+            if packet is not None:
+                self._kill(packet, cycle, "link-failure")
+
+    def _kill_router_worms(self, node: int, cycle: int) -> None:
+        """Kill every worm whose header sits at, or whose body crosses,
+        the failed router."""
+        victims = []
+        for packet in self.active:
+            if packet.head_node == node:
+                victims.append(packet)
+                continue
+            for hold in packet.holds:
+                channel = self.channels[hold.channel_id]
+                if channel.src == node or channel.dst == node:
+                    victims.append(packet)
+                    break
+        for packet in victims:
+            self._kill(packet, cycle, "router-failure")
+
+    def _kill(
+        self, packet: Packet, cycle: int, cause: str, killed: bool = True
+    ) -> None:
+        """Remove an in-flight worm: release every held resource, then
+        account the drop (and schedule a retry if attempts remain)."""
+        stall = cycle - packet.header_wait_since
+        if stall > self.result.max_stall_age_cycles:
+            self.result.max_stall_age_cycles = stall
+        for hold in packet.holds:
+            if self.channel_alloc[hold.channel_id] is packet:
+                self.channel_alloc[hold.channel_id] = None
+        packet.holds.clear()
+        if self.injection_busy[packet.src] is packet:
+            self._release_injection(packet)
+        if self.ejection_alloc[packet.dst] is packet:
+            self.ejection_alloc[packet.dst] = None
+        self.active.pop(packet, None)
+        self.waiting.pop(packet, None)
+        self.dormant.discard(packet)
+        self._finish_drop(packet, cycle, cause, killed=killed)
+
+    def _finish_drop(
+        self, packet: Packet, cycle: int, cause: str, killed: bool = False
+    ) -> None:
+        """Account one drop event; retry from the source if allowed."""
+        packet.state = PacketState.DROPPED
+        packet.drop_cause = cause
+        self.last_progress = cycle  # freed resources are progress
+        result = self.result
+        measured = packet.created >= self.config.warmup_cycles
+        if measured:
+            if killed:
+                result.killed_packets += 1
+            result.drops_by_cause[cause] = (
+                result.drops_by_cause.get(cause, 0) + 1
+            )
+        if packet.attempt < self.config.max_retries:
+            delay = min(
+                self.config.retry_backoff_base << packet.attempt,
+                self.config.retry_backoff_cap,
+            )
+            retry = Packet(
+                self._next_pid, packet.src, packet.dst, packet.length,
+                packet.created,
+            )
+            self._next_pid += 1
+            retry.attempt = packet.attempt + 1
+            self._retry_at.setdefault(cycle + delay, []).append(retry)
+            if measured:
+                result.retried_packets += 1
+        elif measured:
+            result.dropped_packets += 1
+
+    def _requeue(self, packet: Packet) -> None:
+        """Put a retry back into its source queue (no generation
+        accounting — the original creation already counted)."""
+        node = packet.src
+        self.queues[node].append(packet)
+        self._backlog += 1
+        if self.injection_busy[node] is None:
+            self.pending_nodes.add(node)
+
+    def _check_packet_timeouts(self, cycle: int) -> None:
+        """The per-packet watchdog: drop headers stalled beyond
+        ``config.packet_timeout``, diagnosing each batch against the
+        wait-for graph so circular waits are distinguished from dead-end
+        stalls (e.g. a deterministic algorithm facing a dead channel)."""
+        timeout = self.config.packet_timeout
+        result = self.result
+        victims = []
+        for packet in self.waiting:
+            age = cycle - packet.header_wait_since
+            if age > result.max_stall_age_cycles:
+                result.max_stall_age_cycles = age
+            if age > timeout:
+                victims.append(packet)
+        if not victims:
+            return
+        from .deadlock import detect_deadlock  # deferred: avoids an import cycle
+
+        report = detect_deadlock(self)
+        circular = {p for cyc in report.cycles for p in cyc}
+        for packet in victims:
+            cause = (
+                "timeout-deadlock" if packet in circular else "timeout-stall"
+            )
+            self._kill(packet, cycle, cause, killed=False)
 
     def _deliver(self, packet: Packet, cycle: int) -> None:
         packet.state = PacketState.DELIVERED

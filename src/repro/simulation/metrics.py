@@ -49,6 +49,30 @@ class SimulationResult:
     measurement window — the paper's indefinite-postponement concern.
     Local FCFS keeps this bounded; unfair policies let it grow."""
 
+    # -- graceful degradation (fault injection / watchdog / retry) -----------
+
+    dropped_packets: int = 0
+    """Measured packets permanently lost: dropped with no retries left."""
+
+    killed_packets: int = 0
+    """Measured in-flight worms killed by a channel/router failure
+    (includes kills that were subsequently retried)."""
+
+    retried_packets: int = 0
+    """Source retries scheduled for measured packets (each drop that had
+    attempts remaining counts one retry)."""
+
+    drops_by_cause: Dict[str, int] = field(default_factory=dict)
+    """Every measured drop event by cause (``link-failure``,
+    ``router-failure``, ``timeout-stall``, ``timeout-deadlock``,
+    ``dead-destination``), *including* drops that were later retried —
+    so the values can sum to more than ``dropped_packets``."""
+
+    max_stall_age_cycles: int = 0
+    """Longest any header was observed stalled (waiting without a grant):
+    updated by the per-packet watchdog, at drop time, and for headers
+    still waiting when the run ends."""
+
     # -- headline metrics ----------------------------------------------------
 
     @property
@@ -98,6 +122,20 @@ class SimulationResult:
             return None
         return self.total_hops / self.delivered_packets
 
+    @property
+    def delivery_ratio(self) -> Optional[float]:
+        """Delivered fraction of the measured generated packets — the
+        degraded-mode headline metric.  ``None`` when nothing was
+        generated in the measurement window."""
+        if self.generated_packets == 0:
+            return None
+        return self.delivered_packets / self.generated_packets
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any packet was killed or permanently dropped."""
+        return bool(self.dropped_packets or self.killed_packets)
+
     # -- sustainability (the paper's criterion) ------------------------------
 
     @property
@@ -129,9 +167,51 @@ class SimulationResult:
         flag = "" if self.sustainable else "  [unsustainable]"
         if self.deadlock:
             flag = f"  [DEADLOCK @ cycle {self.deadlock_cycle}]"
+        if self.degraded:
+            ratio = self.delivery_ratio
+            shown = f"{ratio:.3f}" if ratio is not None else "n/a"
+            flag += (
+                f"  [degraded: ratio={shown} lost={self.dropped_packets} "
+                f"killed={self.killed_packets} retries={self.retried_packets}]"
+            )
         return (
             f"{self.algorithm:16s} {self.pattern:18s} "
             f"offered={self.offered_flits_per_us:8.1f} fl/us "
             f"delivered={self.throughput_flits_per_us:8.1f} fl/us "
             f"latency={lat}{flag}"
         )
+
+    # -- stable serialization ------------------------------------------------
+    #
+    # The result travels through the on-disk cache and the ``faults`` CLI
+    # JSON report; dict-valued fields are emitted with sorted keys so the
+    # encoding is deterministic across processes and Python versions
+    # (cache schema 2 — see docs/PERFORMANCE.md).
+
+    def to_dict(self) -> Dict[str, object]:
+        """All fields as JSON-serializable values with stable ordering."""
+        from dataclasses import fields as dc_fields
+
+        out: Dict[str, object] = {}
+        for f in dc_fields(self):
+            value = getattr(self, f.name)
+            if f.name == "latency_by_length":
+                value = {
+                    str(length): list(value[length])
+                    for length in sorted(value)
+                }
+            elif f.name == "drops_by_cause":
+                value = {cause: value[cause] for cause in sorted(value)}
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationResult":
+        """Inverse of :meth:`to_dict`."""
+        kwargs = dict(data)
+        if "latency_by_length" in kwargs:
+            kwargs["latency_by_length"] = {
+                int(length): list(samples)
+                for length, samples in kwargs["latency_by_length"].items()  # type: ignore[union-attr]
+            }
+        return cls(**kwargs)  # type: ignore[arg-type]

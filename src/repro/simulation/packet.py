@@ -21,6 +21,7 @@ class PacketState(Enum):
     EJECT_WAIT = "eject-wait"  # header at the destination, waiting for ejection
     EJECTING = "ejecting"  # draining into the destination processor
     DELIVERED = "delivered"
+    DROPPED = "dropped"  # killed by a fault or the per-packet watchdog
 
 
 class ChannelHold:
@@ -58,6 +59,8 @@ class Packet:
         "header_wait_since",
         "misroutes",
         "hops",
+        "attempt",
+        "drop_cause",
     )
 
     def __init__(
@@ -80,10 +83,14 @@ class Packet:
         self.header_wait_since = created  # for FCFS input selection
         self.misroutes = 0  # nonminimal hops taken so far
         self.hops = 0
+        self.attempt = 0  # 0 for the original send, k for the k-th retry
+        self.drop_cause: Optional[str] = None  # why the packet was dropped
 
     @property
     def in_network(self) -> bool:
-        return self.state not in (PacketState.QUEUED, PacketState.DELIVERED)
+        return self.state not in (
+            PacketState.QUEUED, PacketState.DELIVERED, PacketState.DROPPED
+        )
 
     @property
     def flits_in_network(self) -> int:

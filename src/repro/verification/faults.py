@@ -99,14 +99,25 @@ def random_fault_trials(
     num_faults: int,
     trials: int = 5,
     rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
     sample_pairs: Optional[int] = None,
 ) -> List[FaultToleranceReport]:
     """Repeat ``fault_tolerance`` for random fault sets.
 
+    Randomness comes from ``rng`` or, equivalently, a bare ``seed``
+    (mutually exclusive; with neither, seed 0 is used so results are
+    reproducible by default).  Fault sets are distinct across trials
+    and sampled pairs are distinct within a trial, so ``trials`` and
+    ``sample_pairs`` count *different* scenarios rather than admitting
+    silent duplicates.
+
     ``sample_pairs`` caps the pairs examined per trial (uniformly
     sampled) to keep large topologies affordable.
     """
-    rng = rng or random.Random(0)
+    if rng is not None and seed is not None:
+        raise ValueError("pass either rng or seed, not both")
+    if rng is None:
+        rng = random.Random(0 if seed is None else seed)
     topology = algorithm.topology
     channels = list(topology.channels())
     if num_faults > len(channels):
@@ -114,15 +125,31 @@ def random_fault_trials(
             f"cannot fail {num_faults} of {len(channels)} channels"
         )
     reports = []
+    seen_fault_sets: Set[frozenset] = set()
     for _ in range(trials):
         faulty = set(rng.sample(channels, num_faults))
+        # Distinct fault sets per trial (bounded retries: small
+        # topologies may not have enough distinct sets to go around).
+        for _attempt in range(100):
+            if frozenset(faulty) not in seen_fault_sets:
+                break
+            faulty = set(rng.sample(channels, num_faults))
+        seen_fault_sets.add(frozenset(faulty))
         pairs = None
         if sample_pairs is not None:
-            pairs = []
             n = topology.num_nodes
+            distinct = n * (n - 1)
+            if sample_pairs > distinct:
+                raise ValueError(
+                    f"cannot sample {sample_pairs} distinct pairs from "
+                    f"{distinct}"
+                )
+            chosen: Set[Tuple[int, int]] = set()
+            pairs = []
             while len(pairs) < sample_pairs:
                 s, d = rng.randrange(n), rng.randrange(n)
-                if s != d:
+                if s != d and (s, d) not in chosen:
+                    chosen.add((s, d))
                     pairs.append((s, d))
         reports.append(fault_tolerance(algorithm, faulty, pairs))
     return reports

@@ -21,6 +21,7 @@ from repro.analysis.runner import (
     parse_topology_spec,
     topology_spec,
 )
+from repro.faults import FaultEvent, FaultPlan
 from repro.routing import WestFirst, XY
 from repro.simulation import SimulationConfig
 from repro.topology import Hypercube, KAryNCube, Mesh2D
@@ -118,6 +119,12 @@ class TestCacheKey:
             "queue_sample_period": 99,
             "track_channel_load": True,
             "max_queue_per_node": 499,
+            "drain_cycles": 100,
+            "fault_plan": FaultPlan((FaultEvent.router(0),)),
+            "packet_timeout": 700,
+            "max_retries": 1,
+            "retry_backoff_base": 64,
+            "retry_backoff_cap": 4_096,
         }
         assert set(changed) == {
             f.name for f in dataclasses.fields(SimulationConfig)

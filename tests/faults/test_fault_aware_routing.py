@@ -1,0 +1,111 @@
+"""FaultAwareRouting: dead candidates vanish, everything else passes
+through untouched."""
+
+from repro.faults import FaultAwareRouting, FaultState
+from repro.routing import WestFirst, XY
+from repro.topology import EAST, Mesh2D, NORTH
+
+
+def make(mesh, algorithm_cls=WestFirst):
+    inner = algorithm_cls(mesh)
+    state = FaultState(mesh)
+    return inner, state, FaultAwareRouting(inner, state)
+
+
+class TestTransparency:
+    def test_fault_free_state_changes_nothing(self):
+        mesh = Mesh2D(4, 4)
+        inner, _state, wrapped = make(mesh)
+        for src in mesh.nodes():
+            for dst in mesh.nodes():
+                if src == dst:
+                    continue
+                assert wrapped.candidates(src, dst) == inner.candidates(
+                    src, dst
+                )
+
+    def test_metadata_passes_through(self):
+        mesh = Mesh2D(4, 4)
+        inner, _state, wrapped = make(mesh)
+        assert wrapped.name == inner.name
+        assert wrapped.is_minimal == inner.is_minimal
+        assert wrapped.is_adaptive == inner.is_adaptive
+        assert wrapped.turn_model() == inner.turn_model()
+
+
+class TestMasking:
+    def test_dead_channel_is_not_offered(self):
+        mesh = Mesh2D(4, 4)
+        inner, state, wrapped = make(mesh)
+        src = mesh.node_xy(1, 1)
+        dst = mesh.node_xy(3, 2)
+        assert EAST in inner.candidates(src, dst)
+        state.fail_channel(src, EAST)
+        remaining = wrapped.candidates(src, dst)
+        assert EAST not in remaining
+        assert remaining  # west-first still has the north detour
+
+    def test_deterministic_algorithm_left_with_nothing(self):
+        mesh = Mesh2D(4, 4)
+        _inner, state, wrapped = make(mesh, XY)
+        src = mesh.node_xy(1, 1)
+        dst = mesh.node_xy(3, 1)
+        state.fail_channel(src, EAST)
+        assert wrapped.candidates(src, dst) == []
+
+    def test_dead_destination_router_masks_incoming_channel(self):
+        mesh = Mesh2D(4, 4)
+        _inner, state, wrapped = make(mesh)
+        src = mesh.node_xy(1, 1)
+        dst = mesh.node_xy(3, 2)
+        state.fail_router(mesh.node_xy(2, 1))
+        assert EAST not in wrapped.candidates(src, dst)
+
+    def test_dead_source_router_masks_everything(self):
+        mesh = Mesh2D(4, 4)
+        _inner, state, wrapped = make(mesh)
+        src = mesh.node_xy(1, 1)
+        state.fail_router(src)
+        assert wrapped.candidates(src, mesh.node_xy(3, 3)) == []
+
+    def test_heal_restores_candidates(self):
+        mesh = Mesh2D(4, 4)
+        inner, state, wrapped = make(mesh)
+        src = mesh.node_xy(1, 1)
+        dst = mesh.node_xy(3, 2)
+        state.fail_channel(src, EAST)
+        state.heal_channel(src, EAST)
+        assert wrapped.candidates(src, dst) == inner.candidates(src, dst)
+
+    def test_vc_candidates_filtered(self):
+        mesh = Mesh2D(4, 4)
+        inner, state, wrapped = make(mesh)
+        src = mesh.node_xy(1, 1)
+        dst = mesh.node_xy(3, 2)
+        state.fail_channel(src, NORTH)
+        pairs = wrapped.vc_candidates(src, dst, None, None, 2)
+        assert pairs == [
+            (d, v)
+            for d, v in inner.vc_candidates(src, dst, None, None, 2)
+            if d != NORTH
+        ]
+
+
+class TestFaultState:
+    def test_any_faults_tracks_both_kinds(self):
+        mesh = Mesh2D(3, 3)
+        state = FaultState(mesh)
+        assert not state.any_faults
+        state.fail_router(0)
+        assert state.any_faults
+        state.heal_router(0)
+        assert not state.any_faults
+        state.fail_channel(0, EAST)
+        assert state.any_faults
+
+    def test_channel_dead_off_edge(self):
+        mesh = Mesh2D(3, 3)
+        state = FaultState(mesh)
+        # No eastward channel exists out of the east edge: treated dead.
+        edge = mesh.node_xy(2, 0)
+        assert state.channel_dead(edge, EAST)

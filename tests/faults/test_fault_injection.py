@@ -1,0 +1,210 @@
+"""Runtime fault injection in the wormhole engine: the zero-fault
+bit-identity guarantee, mid-flight kills, watchdog drops, and retries."""
+
+import pytest
+
+from repro.analysis.runner import make_pattern, parse_topology_spec
+from repro.faults import FaultEvent, FaultPlan
+from repro.routing import XY, WestFirst, make_algorithm
+from repro.simulation import SimulationConfig, WormholeSimulator
+from repro.topology import EAST, Mesh2D
+from repro.traffic import UniformPattern
+
+
+# Golden operating points captured from the fault-free engine before the
+# fault subsystem existed.  An empty FaultPlan (the default) must leave
+# every one of these numbers untouched — the fault hooks short-circuit,
+# no RNG draw moves, no event reorders.
+GOLDEN = [
+    (
+        "mesh:8x8", "west-first", "uniform",
+        dict(offered_load=1.2, seed=3, warmup_cycles=500,
+             measure_cycles=2_000),
+        (71, 65, 7870, 10641, 9666, 343, 0, 218, 6),
+    ),
+    (
+        "mesh:8x8", "xy", "transpose",
+        dict(offered_load=0.8, seed=11, warmup_cycles=400,
+             measure_cycles=1_500),
+        (37, 36, 3400, 4860, 4242, 212, 0, 213, 1),
+    ),
+    (
+        "cube:6", "p-cube", "uniform",
+        dict(offered_load=2.0, seed=5, warmup_cycles=300,
+             measure_cycles=1_200),
+        (57, 51, 6780, 8251, 7511, 160, 0, 222, 6),
+    ),
+    (
+        "torus:6x2", "negative-first-torus", "uniform",
+        dict(offered_load=0.6, seed=9, warmup_cycles=300,
+             measure_cycles=1_200, virtual_channels=2),
+        (14, 14, 520, 564, 564, 58, 8, 1, 0),
+    ),
+]
+
+FINGERPRINT_FIELDS = (
+    "generated_packets", "delivered_packets", "delivered_flits",
+    "total_latency_cycles", "total_net_latency_cycles", "total_hops",
+    "total_misroutes", "max_grant_wait_cycles", "inflight_at_end",
+)
+
+
+class TestZeroFaultBitIdentity:
+    @pytest.mark.parametrize(
+        "topo_spec,algorithm,pattern,overrides,expected", GOLDEN
+    )
+    def test_empty_plan_matches_golden_fingerprint(
+        self, topo_spec, algorithm, pattern, overrides, expected
+    ):
+        topology = parse_topology_spec(topo_spec)
+        config = SimulationConfig(fault_plan=FaultPlan.empty(), **overrides)
+        sim = WormholeSimulator(
+            make_algorithm(algorithm, topology),
+            make_pattern(pattern, topology),
+            config,
+        )
+        assert sim.fault_state is None  # hooks fully disabled
+        result = sim.run()
+        fingerprint = tuple(
+            getattr(result, name) for name in FINGERPRINT_FIELDS
+        )
+        assert fingerprint == expected
+        assert result.dropped_packets == 0
+        assert result.killed_packets == 0
+        assert result.retried_packets == 0
+        assert result.drops_by_cause == {}
+
+    def test_empty_plan_with_watchdog_knobs_still_identical(self):
+        """packet_timeout/max_retries alone must not perturb a healthy
+        run: the watchdog only ever fires on genuinely stalled worms."""
+        topo_spec, algorithm, pattern, overrides, expected = GOLDEN[0]
+        topology = parse_topology_spec(topo_spec)
+        config = SimulationConfig(
+            packet_timeout=10_000, max_retries=3, **overrides
+        )
+        result = WormholeSimulator(
+            make_algorithm(algorithm, topology),
+            make_pattern(pattern, topology),
+            config,
+        ).run()
+        fingerprint = tuple(
+            getattr(result, name) for name in FINGERPRINT_FIELDS
+        )
+        assert fingerprint == expected
+
+
+def scripted_config(**overrides):
+    base = dict(
+        offered_load=0.0, warmup_cycles=0, measure_cycles=400, seed=0
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+class TestMidFlightKills:
+    def test_link_failure_kills_crossing_worm(self):
+        mesh = Mesh2D(4, 4)
+        # A 20-flit worm from (0,0) east to (3,0) is still crossing
+        # (1,0)->EAST when the link dies at cycle 6.
+        plan = FaultPlan(
+            (FaultEvent.channel(mesh.channel(mesh.node_xy(1, 0), EAST),
+                                start=6),)
+        )
+        sim = WormholeSimulator(
+            XY(mesh), UniformPattern(mesh), scripted_config(fault_plan=plan)
+        )
+        sim.inject_packet(mesh.node_xy(0, 0), mesh.node_xy(3, 0), 20)
+        result = sim.run()
+        assert result.killed_packets == 1
+        assert result.dropped_packets == 1
+        assert result.drops_by_cause == {"link-failure": 1}
+        assert result.delivered_packets == 0
+
+    def test_router_failure_kills_crossing_worm(self):
+        mesh = Mesh2D(4, 4)
+        plan = FaultPlan(
+            (FaultEvent.router(mesh.node_xy(1, 0), start=6),)
+        )
+        sim = WormholeSimulator(
+            XY(mesh), UniformPattern(mesh), scripted_config(fault_plan=plan)
+        )
+        sim.inject_packet(mesh.node_xy(0, 0), mesh.node_xy(3, 0), 20)
+        result = sim.run()
+        assert result.killed_packets == 1
+        assert result.drops_by_cause == {"router-failure": 1}
+
+    def test_fault_before_injection_does_not_kill(self):
+        """A link dead from cycle 0 never has a worm on it: the packet
+        stalls at the source and the watchdog drops it instead."""
+        mesh = Mesh2D(4, 4)
+        plan = FaultPlan(
+            (FaultEvent.channel(mesh.channel(mesh.node_xy(1, 0), EAST),
+                                start=0),)
+        )
+        sim = WormholeSimulator(
+            XY(mesh), UniformPattern(mesh),
+            scripted_config(fault_plan=plan, packet_timeout=50),
+        )
+        sim.inject_packet(mesh.node_xy(0, 0), mesh.node_xy(3, 0), 4)
+        result = sim.run()
+        assert result.killed_packets == 0
+        assert result.dropped_packets == 1
+        assert result.drops_by_cause == {"timeout-stall": 1}
+        assert result.max_stall_age_cycles > 50
+
+
+class TestWatchdogAndRetry:
+    def test_transient_fault_heals_and_retry_delivers(self):
+        mesh = Mesh2D(4, 4)
+        channel = mesh.channel(mesh.node_xy(1, 0), EAST)
+        plan = FaultPlan((FaultEvent.channel(channel, start=0, end=120),))
+        sim = WormholeSimulator(
+            XY(mesh), UniformPattern(mesh),
+            scripted_config(
+                fault_plan=plan, packet_timeout=30, max_retries=3,
+                retry_backoff_base=16, measure_cycles=600,
+            ),
+        )
+        sim.inject_packet(mesh.node_xy(0, 0), mesh.node_xy(3, 0), 4)
+        result = sim.run()
+        assert result.delivered_packets == 1
+        assert result.dropped_packets == 0
+        assert result.retried_packets >= 1
+        assert result.drops_by_cause.get("timeout-stall", 0) >= 1
+
+    def test_retries_are_bounded(self):
+        """With the destination permanently dead, every attempt drops at
+        injection: max_retries + 1 drop events, one permanent loss."""
+        mesh = Mesh2D(4, 4)
+        dst = mesh.node_xy(3, 3)
+        plan = FaultPlan((FaultEvent.router(dst, start=0),))
+        sim = WormholeSimulator(
+            XY(mesh), UniformPattern(mesh),
+            scripted_config(
+                fault_plan=plan, max_retries=2, retry_backoff_base=8,
+            ),
+        )
+        sim.inject_packet(mesh.node_xy(0, 0), dst, 4)
+        result = sim.run()
+        assert result.dropped_packets == 1
+        assert result.retried_packets == 2
+        assert result.drops_by_cause == {"dead-destination": 3}
+
+    def test_adaptive_algorithm_routes_around_without_drops(self):
+        """Same dead link, same pair: west-first has a detour, so the
+        watchdog never fires and nothing is dropped."""
+        mesh = Mesh2D(4, 4)
+        channel = mesh.channel(mesh.node_xy(1, 1), EAST)
+        plan = FaultPlan((FaultEvent.channel(channel, start=0),))
+        config = scripted_config(fault_plan=plan, packet_timeout=50)
+        src, dst = mesh.node_xy(1, 1), mesh.node_xy(3, 2)
+
+        dead = WormholeSimulator(XY(mesh), UniformPattern(mesh), config)
+        dead.inject_packet(src, dst, 4)
+        assert dead.run().dropped_packets == 1
+
+        alive = WormholeSimulator(WestFirst(mesh), UniformPattern(mesh), config)
+        alive.inject_packet(src, dst, 4)
+        result = alive.run()
+        assert result.delivered_packets == 1
+        assert result.dropped_packets == 0

@@ -1,0 +1,170 @@
+"""FaultEvent/FaultPlan: validation, ordering, serialization, schedules."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultPlan, PERMANENT
+from repro.faults.plan import FAIL, HEAL
+from repro.simulation import SimulationConfig
+from repro.topology import EAST, Mesh2D, NORTH
+
+
+class TestFaultEvent:
+    def test_channel_constructor_round_trips_identity(self):
+        mesh = Mesh2D(4, 4)
+        channel = mesh.channel(mesh.node_xy(1, 1), EAST)
+        event = FaultEvent.channel(channel, start=10, end=50)
+        assert event.node == channel.src
+        assert event.direction == channel.direction
+        assert not event.permanent
+        assert event.active_at(10)
+        assert event.active_at(49)
+        assert not event.active_at(50)
+        assert not event.active_at(9)
+
+    def test_permanent_event_never_heals(self):
+        event = FaultEvent.router(3, start=5)
+        assert event.permanent
+        assert event.active_at(10_000_000)
+        assert not event.active_at(4)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(kind="switch", start=0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent.router(0, start=-1)
+
+    def test_heal_before_fail_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent.router(0, start=10, end=10)
+        with pytest.raises(ValueError):
+            FaultEvent.router(0, start=10, end=3)
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(kind="channel", start=0, node=0, dim=0, sign=2)
+
+    def test_router_event_has_no_direction(self):
+        with pytest.raises(ValueError):
+            FaultEvent.router(0).direction
+
+    def test_serialization_round_trip(self):
+        event = FaultEvent(
+            kind="channel", start=7, end=90, node=12, dim=1, sign=-1
+        )
+        assert FaultEvent.from_dict(event.to_dict()) == event
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        plan = FaultPlan.empty()
+        assert plan.is_empty
+        assert len(plan) == 0
+        assert plan.schedule() == {}
+
+    def test_events_are_canonically_sorted(self):
+        late = FaultEvent.router(1, start=100)
+        early = FaultEvent.channel(
+            Mesh2D(4, 4).channel(0, EAST), start=5
+        )
+        assert FaultPlan((late, early)).events == FaultPlan(
+            (early, late)
+        ).events
+
+    def test_non_event_rejected(self):
+        with pytest.raises(TypeError):
+            FaultPlan(events=("not an event",))
+
+    def test_schedule_has_fail_and_heal_entries(self):
+        mesh = Mesh2D(4, 4)
+        transient = FaultEvent.channel(mesh.channel(0, EAST), 10, 60)
+        permanent = FaultEvent.router(5, start=10)
+        schedule = FaultPlan((transient, permanent)).schedule()
+        assert {action for action, _ in schedule[10]} == {FAIL}
+        assert len(schedule[10]) == 2
+        assert schedule[60] == [(HEAL, transient)]
+
+    def test_serialization_round_trip_and_canonical_json(self):
+        mesh = Mesh2D(4, 4)
+        plan = FaultPlan.random_links(mesh, 3, seed=42, start=5, end=80)
+        again = FaultPlan.from_dict(plan.to_dict())
+        assert again == plan
+        assert again.canonical_json() == plan.canonical_json()
+
+    def test_random_links_deterministic_and_distinct(self):
+        mesh = Mesh2D(6, 6)
+        a = FaultPlan.random_links(mesh, 4, seed=9)
+        b = FaultPlan.random_links(mesh, 4, seed=9)
+        c = FaultPlan.random_links(mesh, 4, seed=10)
+        assert a == b
+        assert a != c
+        keys = {(e.node, e.dim, e.sign) for e in a.events}
+        assert len(keys) == 4
+
+    def test_random_links_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random_links(Mesh2D(2, 2), 1_000, seed=0)
+
+    def test_random_routers_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random_routers(Mesh2D(2, 2), 5, seed=0)
+
+    def test_faulty_channels_expands_router_events(self):
+        mesh = Mesh2D(4, 4)
+        node = mesh.node_xy(1, 1)
+        plan = FaultPlan((FaultEvent.router(node),))
+        channels = plan.faulty_channels(mesh)
+        assert channels
+        assert all(
+            c.src == node or c.dst == node for c in channels
+        )
+        # An interior mesh node has 4 outgoing + 4 incoming channels.
+        assert len(channels) == 8
+
+    def test_faulty_channels_respects_at_cycle(self):
+        mesh = Mesh2D(4, 4)
+        transient = FaultEvent.channel(mesh.channel(0, NORTH), 10, 20)
+        plan = FaultPlan((transient,))
+        assert not plan.faulty_channels(mesh, at=5)
+        assert len(plan.faulty_channels(mesh, at=15)) == 1
+        assert not plan.faulty_channels(mesh, at=25)
+
+
+class TestConfigIntegration:
+    def test_config_serializes_fault_plan(self):
+        mesh = Mesh2D(4, 4)
+        plan = FaultPlan.random_links(mesh, 2, seed=1)
+        config = SimulationConfig(fault_plan=plan, packet_timeout=500)
+        data = config.to_dict()
+        again = SimulationConfig.from_dict(data)
+        assert again.fault_plan == plan
+        assert again == config
+
+    def test_config_coerces_plain_dict_plan(self):
+        plan = FaultPlan((FaultEvent.router(2, start=5),))
+        config = SimulationConfig(fault_plan=plan.to_dict())
+        assert config.fault_plan == plan
+
+    def test_config_rejects_non_plan(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(fault_plan=[1, 2, 3])
+
+    def test_with_faults_shortcut(self):
+        plan = FaultPlan((FaultEvent.router(1),))
+        config = SimulationConfig().with_faults(plan)
+        assert config.fault_plan == plan
+
+    def test_robustness_knob_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(packet_timeout=-1)
+        with pytest.raises(ValueError):
+            SimulationConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            SimulationConfig(retry_backoff_base=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(retry_backoff_cap=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(deadlock_threshold=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(drain_cycles=-1)

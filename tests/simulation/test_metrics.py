@@ -98,3 +98,76 @@ class TestSummary:
 
     def test_summary_without_latency(self):
         assert "n/a" in make_result().summary()
+
+
+class TestDegradationMetrics:
+    def test_delivery_ratio_none_without_traffic(self):
+        assert make_result().delivery_ratio is None
+
+    def test_delivery_ratio_and_degraded_flag(self):
+        result = make_result(
+            generated_packets=10, delivered_packets=8, dropped_packets=2
+        )
+        assert result.delivery_ratio == 0.8
+        assert result.degraded
+
+    def test_healthy_run_is_not_degraded(self):
+        result = make_result(generated_packets=10, delivered_packets=10)
+        assert not result.degraded
+        assert "degraded" not in result.summary()
+
+    def test_summary_shows_degradation(self):
+        result = make_result(
+            generated_packets=10,
+            delivered_packets=7,
+            dropped_packets=3,
+            killed_packets=2,
+            retried_packets=1,
+        )
+        text = result.summary()
+        assert "degraded" in text
+        assert "ratio=0.700" in text
+        assert "lost=3" in text
+        assert "killed=2" in text
+        assert "retries=1" in text
+
+
+class TestSerialization:
+    def test_round_trip_preserves_everything(self):
+        result = make_result(
+            generated_packets=9,
+            delivered_packets=7,
+            delivered_flits=70,
+            dropped_packets=2,
+            killed_packets=1,
+            retried_packets=3,
+            drops_by_cause={"timeout-stall": 2, "link-failure": 1},
+            max_stall_age_cycles=812,
+            latency_by_length={10: [50, 60], 6: [30]},
+            backlog_samples=[0, 1, 2],
+        )
+        again = SimulationResult.from_dict(result.to_dict())
+        assert again == result
+
+    def test_dict_keys_are_stably_ordered(self):
+        import json
+
+        result = make_result(
+            drops_by_cause={"z-cause": 1, "a-cause": 2},
+            latency_by_length={12: [5], 4: [7]},
+        )
+        data = result.to_dict()
+        assert list(data["drops_by_cause"]) == ["a-cause", "z-cause"]
+        assert list(data["latency_by_length"]) == ["4", "12"]
+        # The whole payload is JSON-serializable deterministically.
+        assert json.dumps(data) == json.dumps(
+            make_result(
+                drops_by_cause={"a-cause": 2, "z-cause": 1},
+                latency_by_length={4: [7], 12: [5]},
+            ).to_dict()
+        )
+
+    def test_from_dict_restores_int_length_keys(self):
+        result = make_result(latency_by_length={8: [40]})
+        again = SimulationResult.from_dict(result.to_dict())
+        assert again.latency_by_length == {8: [40]}

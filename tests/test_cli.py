@@ -198,3 +198,110 @@ class TestCommands:
         )
         assert code == 0
         assert "dateline" in capsys.readouterr().out
+
+
+class TestFaultsCommand:
+    def test_faults_text_report(self, capsys):
+        code = main(
+            [
+                "faults",
+                "--topology", "mesh:5x5",
+                "--algorithms", "xy,west-first",
+                "--faults", "0,2",
+                "--trials", "1",
+                "--warmup", "200",
+                "--cycles", "800",
+                "--drain", "800",
+                "--no-cache",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault campaign: mesh:5x5" in out
+        assert "xy" in out and "west-first" in out
+        assert "ratio" in out
+
+    def test_faults_json_report(self, capsys):
+        import json
+
+        code = main(
+            [
+                "faults",
+                "--topology", "mesh:4x4",
+                "--algorithms", "xy",
+                "--faults", "1",
+                "--trials", "1",
+                "--warmup", "100",
+                "--cycles", "400",
+                "--drain", "400",
+                "--no-cache",
+                "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["topology"] == "mesh:4x4"
+        assert data["cells"][0]["algorithm"] == "xy"
+        assert "overall" in data
+
+    def test_faults_bad_fault_list_exits(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "--faults", "1,x", "--no-cache"])
+
+    def test_faults_empty_algorithms_exits(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "--algorithms", ",", "--no-cache"])
+
+    def test_faults_unknown_algorithm_exits(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "faults",
+                    "--topology", "mesh:4x4",
+                    "--algorithms", "mystery",
+                    "--faults", "1",
+                    "--trials", "1",
+                    "--cycles", "200",
+                    "--no-cache",
+                ]
+            )
+
+
+class TestRobustnessFlagValidation:
+    def test_non_positive_deadlock_threshold_exits(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "xy", "--deadlock-threshold", "0"])
+
+    def test_negative_packet_timeout_exits(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "xy", "--packet-timeout", "-5"])
+
+    def test_negative_max_retries_exits(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "--max-retries", "-1"])
+
+    def test_non_positive_backoff_exits(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "xy", "--retry-backoff-base", "0"])
+        with pytest.raises(SystemExit):
+            main(["simulate", "xy", "--retry-backoff-cap", "-3"])
+
+    def test_non_integer_threshold_exits(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "xy", "--deadlock-threshold", "many"])
+
+    def test_simulate_accepts_watchdog_knobs(self, capsys):
+        code = main(
+            [
+                "simulate", "xy",
+                "--topology", "mesh:4x4",
+                "--load", "0.5",
+                "--warmup", "100",
+                "--cycles", "400",
+                "--packet-timeout", "500",
+                "--max-retries", "1",
+                "--deadlock-threshold", "2000",
+            ]
+        )
+        assert code == 0
+        assert "xy" in capsys.readouterr().out

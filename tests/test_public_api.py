@@ -14,6 +14,7 @@ SUBPACKAGES = [
     "repro.simulation",
     "repro.traffic",
     "repro.analysis",
+    "repro.faults",
 ]
 
 

@@ -95,3 +95,90 @@ class TestReports:
 
     def test_mean_survival_empty(self):
         assert mean_survival([]) == 1.0
+
+    def test_seed_parameter_is_reproducible(self):
+        mesh = Mesh2D(5, 5)
+        a = random_fault_trials(XY(mesh), num_faults=2, trials=3, seed=7)
+        b = random_fault_trials(XY(mesh), num_faults=2, trials=3, seed=7)
+        c = random_fault_trials(XY(mesh), num_faults=2, trials=3, seed=8)
+        assert [r.surviving_pairs for r in a] == [
+            r.surviving_pairs for r in b
+        ]
+        # Different seeds draw different fault sets (with overwhelming
+        # probability on a 5x5 mesh); allow equality of survival counts
+        # but require the call to succeed independently.
+        assert len(c) == 3
+
+    def test_seed_equivalent_to_seeded_rng(self):
+        mesh = Mesh2D(5, 5)
+        by_seed = random_fault_trials(
+            XY(mesh), num_faults=2, trials=3, seed=11
+        )
+        by_rng = random_fault_trials(
+            XY(mesh), num_faults=2, trials=3, rng=random.Random(11)
+        )
+        assert [r.surviving_pairs for r in by_seed] == [
+            r.surviving_pairs for r in by_rng
+        ]
+
+    def test_seed_and_rng_together_rejected(self):
+        mesh = Mesh2D(4, 4)
+        with pytest.raises(ValueError):
+            random_fault_trials(
+                XY(mesh), num_faults=1, seed=1, rng=random.Random(1)
+            )
+
+    def test_fault_sets_distinct_across_trials(self):
+        """On a tiny topology with few possible fault sets, trials must
+        still not silently repeat a set when alternatives remain."""
+        mesh = Mesh2D(3, 3)
+        channels = list(mesh.channels())
+        seen = []
+
+        import repro.verification.faults as module
+
+        original = module.fault_tolerance
+
+        def spy(algorithm, faulty, pairs=None):
+            seen.append(frozenset(faulty))
+            return original(algorithm, faulty, pairs)
+
+        module.fault_tolerance = spy
+        try:
+            random_fault_trials(XY(mesh), num_faults=1, trials=6, seed=0)
+        finally:
+            module.fault_tolerance = original
+        assert len(seen) == 6
+        assert len(set(seen)) == 6  # all distinct; 24 channels available
+        assert all(len(s) == 1 for s in seen)
+        assert all(next(iter(s)) in channels for s in seen)
+
+    def test_sampled_pairs_are_distinct(self):
+        mesh = Mesh2D(4, 4)
+        captured = []
+
+        import repro.verification.faults as module
+
+        original = module.fault_tolerance
+
+        def spy(algorithm, faulty, pairs=None):
+            captured.append(list(pairs))
+            return original(algorithm, faulty, pairs)
+
+        module.fault_tolerance = spy
+        try:
+            reports = random_fault_trials(
+                XY(mesh), num_faults=1, trials=2, sample_pairs=40, seed=4
+            )
+        finally:
+            module.fault_tolerance = original
+        assert all(r.total_pairs == 40 for r in reports)
+        for pairs in captured:
+            assert len(pairs) == len(set(pairs)) == 40
+
+    def test_oversized_pair_sample_rejected(self):
+        mesh = Mesh2D(3, 3)  # 9 * 8 = 72 distinct ordered pairs
+        with pytest.raises(ValueError):
+            random_fault_trials(
+                XY(mesh), num_faults=1, trials=1, sample_pairs=73, seed=0
+            )
