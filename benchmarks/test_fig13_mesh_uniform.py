@@ -9,7 +9,6 @@ uniform traffic's evenness.
 from repro.analysis import (
     figure13_mesh_uniform,
     format_figure,
-    uniform_nonadaptive_wins,
 )
 
 

@@ -13,7 +13,6 @@ from repro.simulation import SimulationConfig, WormholeSimulator
 from repro.routing import make_algorithm
 from repro.topology import Hypercube, Mesh2D
 from repro.traffic import (
-    HypercubeTransposePattern,
     MeshTransposePattern,
     ReverseFlipPattern,
     UniformPattern,

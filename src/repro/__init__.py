@@ -19,7 +19,10 @@ The package provides:
 * :mod:`repro.analysis` — load sweeps, saturation search, and one harness
   per paper figure/table;
 * :mod:`repro.faults` — deterministic fault-injection plans, runtime
-  fault state, and fault-aware routing wrappers (see docs/FAULTS.md).
+  fault state, and fault-aware routing wrappers (see docs/FAULTS.md);
+* :mod:`repro.observability` — flit-level event tracing, streaming
+  channel/router metrics collectors, and engine phase profiling (see
+  docs/OBSERVABILITY.md).
 
 Quickstart::
 
@@ -69,6 +72,12 @@ from .faults import (
     FaultEvent,
     FaultPlan,
     FaultState,
+)
+from .observability import (
+    JsonlTraceSink,
+    ListSink,
+    PhaseProfiler,
+    TraceEvent,
 )
 from .simulation import (
     SimulationConfig,
@@ -120,7 +129,9 @@ __all__ = [
     "FirstHopWraparound",
     "Hypercube",
     "HypercubeTransposePattern",
+    "JsonlTraceSink",
     "KAryNCube",
+    "ListSink",
     "Mesh",
     "Mesh2D",
     "MeshTransposePattern",
@@ -128,11 +139,13 @@ __all__ = [
     "NonminimalPCube",
     "NorthLast",
     "PCube",
+    "PhaseProfiler",
     "ReverseFlipPattern",
     "RoutingAlgorithm",
     "SimulationConfig",
     "SimulationResult",
     "Topology",
+    "TraceEvent",
     "TrafficPattern",
     "Turn",
     "TurnModel",

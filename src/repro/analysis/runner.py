@@ -56,13 +56,19 @@ from ..traffic.patterns import (
     UniformPattern,
 )
 
-CACHE_SCHEMA = 2
+CACHE_SCHEMA = 3
 """Bumped whenever the cached payload layout changes; part of every key.
 
 Schema 2: :class:`SimulationResult` grew the graceful-degradation fields
 (drops by cause, kill/retry counts, max stall age) and
 :class:`SimulationConfig` the fault-injection knobs — entries cached by
-schema-1 code must not be silently reused (see docs/PERFORMANCE.md)."""
+schema-1 code must not be silently reused (see docs/PERFORMANCE.md).
+
+Schema 3: the observability collectors (docs/OBSERVABILITY.md) added
+``channel_util_series``/``router_blocked_cycles``/``latency_histogram``
+to :class:`SimulationResult` and the collector knobs to
+:class:`SimulationConfig`; old entries lack those payload fields, so
+they key out."""
 
 ProgressCallback = Callable[[SimulationResult], None]
 

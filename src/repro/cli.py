@@ -10,7 +10,14 @@ Commands:
 * ``figure`` — regenerate one of the paper's figures (13-16);
 * ``faults`` — a seeded fault-injection campaign: delivery ratio, drops
   by cause, and retries vs. the number of failed links, per algorithm
-  (see docs/FAULTS.md).
+  (see docs/FAULTS.md);
+* ``trace`` — run one operating point with flit-level observability on:
+  JSONL event trace, text/JSON summary (latency percentiles, stall-prone
+  routers, hottest channels), and per-direction channel-utilization
+  heatmaps (see docs/OBSERVABILITY.md).
+
+``simulate`` and ``trace`` accept ``--profile`` to time the engine's hot
+phases (routing decision, switch allocation, flit advance).
 
 ``sweep``, ``figure``, and ``faults`` route through the parallel
 experiment runner: ``--jobs N`` fans the operating points over N worker
@@ -44,12 +51,22 @@ from .analysis.runner import (
 )
 from .analysis.sweep import run_sweep
 from .core.turn_model import TurnModel
+from .observability import (
+    EVENT_KINDS,
+    FilteringSink,
+    JsonlTraceSink,
+    PhaseProfiler,
+    read_trace,
+    summarize_trace,
+    trace_header,
+)
 from .routing.registry import algorithm_names, make_algorithm
 from .simulation.config import SimulationConfig
 from .simulation.engine import WormholeSimulator
 from .topology.base import Topology
+from .topology.mesh import Mesh2D
 from .verification import check_connectivity, verify_algorithm
-from .viz import render_turn_set
+from .viz import hottest_channels, render_turn_set, render_utilization_heatmaps
 
 TURN_MODELS = {
     "xy": TurnModel.xy,
@@ -162,7 +179,10 @@ def cmd_simulate(args) -> int:
     topology = parse_topology(args.topology)
     algorithm = make_algorithm(args.algorithm, topology)
     pattern = make_pattern(args.pattern, topology)
-    result = WormholeSimulator(algorithm, pattern, _config(args)).run()
+    profiler = PhaseProfiler() if args.profile else None
+    result = WormholeSimulator(
+        algorithm, pattern, _config(args), profiler=profiler
+    ).run()
     print(result.summary())
     if result.avg_hops is not None:
         print(
@@ -170,6 +190,112 @@ def cmd_simulate(args) -> int:
             f"net-latency={result.avg_network_latency_us:.2f}us "
             f"delivered={result.delivered_packets} packets"
         )
+    if profiler is not None:
+        print()
+        print(profiler.report())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    topology = parse_topology(args.topology)
+    algorithm = make_algorithm(args.algorithm, topology)
+    pattern = make_pattern(args.pattern, topology)
+    kinds = None
+    if args.events:
+        kinds = [part.strip() for part in args.events.split(",") if part.strip()]
+        unknown = sorted(set(kinds) - set(EVENT_KINDS))
+        if unknown:
+            raise SystemExit(
+                f"unknown trace event kinds {unknown}; "
+                f"choose from {list(EVENT_KINDS)}"
+            )
+    config = _config(args).with_observability(
+        channel_series_period=args.series_period
+    )
+    header = trace_header(
+        topology=args.topology,
+        algorithm=algorithm.name,
+        pattern=getattr(pattern, "name", type(pattern).__name__),
+        config_hash=config.stable_hash(),
+    )
+    sink = JsonlTraceSink(args.out, header=header)
+    if kinds is not None:
+        sink = FilteringSink(sink, kinds)
+    profiler = PhaseProfiler() if args.profile else None
+    simulator = WormholeSimulator(
+        algorithm, pattern, config, sink=sink, profiler=profiler
+    )
+    result = simulator.run()
+    sink.close()
+
+    # Summarize by reading the file back: every `repro trace` run also
+    # exercises the full emit -> JSONL -> parse round-trip.
+    _, events = read_trace(args.out)
+    summary = summarize_trace(events)
+
+    util = result.channel_utilization()
+    totals = (
+        [int(round(u * result.measure_cycles)) for u in util]
+        if util is not None
+        else None
+    )
+    heatmap_text = None
+    if args.heatmap is not None:
+        if not isinstance(topology, Mesh2D):
+            raise SystemExit(
+                "--heatmap requires a 2D mesh topology (mesh:AxB)"
+            )
+        if totals is None:
+            raise SystemExit(
+                "--heatmap needs a non-empty utilization series (the run "
+                "aborted before its measurement window?)"
+            )
+        heatmap_text = render_utilization_heatmaps(
+            topology, simulator.channels, totals, result.measure_cycles
+        )
+        if args.heatmap == "-":
+            print(heatmap_text)
+        else:
+            with open(args.heatmap, "w", encoding="utf-8") as fh:
+                fh.write(heatmap_text + "\n")
+
+    if args.json:
+        payload = {
+            "point": {
+                "topology": args.topology,
+                "algorithm": algorithm.name,
+                "pattern": getattr(pattern, "name", type(pattern).__name__),
+                "offered_load": config.offered_load,
+                "config_hash": config.stable_hash(),
+            },
+            "result": result.to_dict(),
+            "trace": summary.to_dict(),
+            "trace_file": str(args.out),
+        }
+        if profiler is not None:
+            payload["profile"] = profiler.to_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    print(result.summary())
+    print()
+    print(summary.render())
+    pct = {
+        f"p{p:g}": result.latency_percentile(p) for p in (50, 90, 99, 100)
+    }
+    if pct["p50"] is not None:
+        shown = ", ".join(f"{k}={v}" for k, v in pct.items())
+        print(f"creation->delivery latency (cycles): {shown}")
+    if totals is not None:
+        print("hottest channels (flits crossed in the measurement window):")
+        for channel, flits in hottest_channels(simulator.channels, totals):
+            print(f"  {channel!r}: {flits}")
+    print(f"trace written to {args.out} ({summary.total_events} events)")
+    if heatmap_text is not None and args.heatmap != "-":
+        print(f"heatmaps written to {args.heatmap}")
+    if profiler is not None:
+        print()
+        print(profiler.report())
     return 0
 
 
@@ -303,9 +429,14 @@ def cmd_faults(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Turn-model adaptive routing: verify, simulate, reproduce.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -339,9 +470,64 @@ def build_parser() -> argparse.ArgumentParser:
         _add_robustness_flags(p)
         if name == "simulate":
             p.add_argument("--load", type=float, default=1.0)
+            p.add_argument(
+                "--profile",
+                action="store_true",
+                help="time the engine's hot phases and print the report",
+            )
         else:
             p.add_argument("--loads", default="0.5,1.0,1.5,2.0")
             _add_runner_flags(p)
+
+    p = sub.add_parser(
+        "trace",
+        help="flit-level event trace of one operating point "
+        "(docs/OBSERVABILITY.md)",
+    )
+    p.add_argument("algorithm")
+    p.add_argument("--topology", default="mesh:8x8")
+    p.add_argument("--pattern", default="uniform")
+    p.add_argument("--load", type=float, default=1.0)
+    p.add_argument("--warmup", type=int, default=500)
+    p.add_argument("--cycles", type=int, default=2_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--buffer-depth", type=int, default=1)
+    p.add_argument(
+        "--vc", type=int, default=1, help="virtual channels per link"
+    )
+    p.add_argument(
+        "--out",
+        default="trace.jsonl",
+        help="JSONL trace file to write (default trace.jsonl)",
+    )
+    p.add_argument(
+        "--events",
+        default=None,
+        help="comma-separated event kinds to keep (default: all)",
+    )
+    p.add_argument(
+        "--series-period",
+        type=_positive_int,
+        default=100,
+        help="bucket width, in cycles, of the utilization time series",
+    )
+    p.add_argument(
+        "--heatmap",
+        default=None,
+        help="write per-direction channel-utilization heatmaps to this "
+        "file ('-' prints them; 2D meshes only)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the run + trace summary as JSON instead of text",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="time the engine's hot phases and print the report",
+    )
+    _add_robustness_flags(p)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("name", help="fig13..fig16, or the bare number")
@@ -491,6 +677,7 @@ COMMANDS = {
     "sweep": cmd_sweep,
     "figure": cmd_figure,
     "faults": cmd_faults,
+    "trace": cmd_trace,
 }
 
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, Sequence
 
-from ..topology.base import Channel, Direction, NEGATIVE, POSITIVE
+from ..topology.base import Channel
 from ..topology.mesh import Mesh, Mesh2D
 
 ChannelNumbering = Dict[Channel, int]

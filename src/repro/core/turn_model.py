@@ -30,7 +30,7 @@ the necessary conditions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, List, Optional, Set
+from typing import FrozenSet, Iterable, List, Optional
 
 from ..topology.base import Direction, NEGATIVE, POSITIVE, all_directions
 from .cycles import breaks_all_abstract_cycles, minimum_prohibited_turns, unbroken_cycles

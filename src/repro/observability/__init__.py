@@ -1,0 +1,67 @@
+"""Flit-level observability: trace events, metrics collectors, profiling.
+
+The paper's evaluation (Sections 5-6) explains *why* the partially
+adaptive algorithms diverge from xy — blocked headers, uneven channel
+utilization, adaptivity actually exercised — and this package turns the
+simulator into an instrument that can show those mechanisms instead of
+only end-of-run aggregates:
+
+* :mod:`repro.observability.events` — typed, schema-versioned
+  packet-lifecycle trace events with JSONL encoding;
+* :mod:`repro.observability.sinks` — the :class:`TraceSink` protocol the
+  engine emits into, with in-memory, JSONL, and filtering sinks;
+* :mod:`repro.observability.collectors` — streaming metrics folded into
+  :class:`~repro.simulation.metrics.SimulationResult`: per-channel
+  utilization time series, per-router blocked-cycle counters, exact
+  latency histograms/percentiles;
+* :mod:`repro.observability.profiler` — wall-clock timing of the
+  engine's hot phases (routing decision, switch allocation, flit
+  advance) behind the ``--profile`` flag;
+* :mod:`repro.observability.summary` — trace-file analysis for the
+  ``repro trace`` CLI subcommand.
+
+Everything is strictly opt-in: with no sink attached and the collector
+knobs at their defaults, the engine's behaviour and its measured results
+are bit-identical to a build without this package (the golden-fingerprint
+regression tests pin that down).  See docs/OBSERVABILITY.md.
+"""
+
+from .events import (
+    EVENT_KINDS,
+    TRACE_SCHEMA,
+    TraceEvent,
+    parse_jsonl,
+    parse_jsonl_line,
+)
+from .sinks import (
+    FilteringSink,
+    JsonlTraceSink,
+    ListSink,
+    TraceSink,
+    trace_header,
+)
+from .collectors import (
+    exact_percentile,
+    latency_percentiles,
+)
+from .profiler import PhaseProfiler
+from .summary import TraceSummary, read_trace, summarize_trace
+
+__all__ = [
+    "EVENT_KINDS",
+    "FilteringSink",
+    "JsonlTraceSink",
+    "ListSink",
+    "PhaseProfiler",
+    "TRACE_SCHEMA",
+    "TraceEvent",
+    "TraceSink",
+    "TraceSummary",
+    "exact_percentile",
+    "latency_percentiles",
+    "parse_jsonl",
+    "parse_jsonl_line",
+    "read_trace",
+    "summarize_trace",
+    "trace_header",
+]

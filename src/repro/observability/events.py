@@ -1,0 +1,144 @@
+"""Typed, schema-versioned packet-lifecycle trace events.
+
+One :class:`TraceEvent` records one thing the engine did on one cycle.
+The vocabulary is fixed (:data:`EVENT_KINDS`) so downstream tooling can
+rely on it:
+
+``injected``
+    A header left its source processor's queue and entered the network
+    (claimed the injection channel).  ``node`` is the source.
+``channel_allocated``
+    Arbitration granted an output channel to a waiting header.  ``node``
+    is the router that granted it, ``channel`` the runtime channel id,
+    ``direction`` the channel's direction.
+``header_advance``
+    The header flit arrived at the next router.  ``node`` is the router
+    it arrived at.
+``blocked``
+    A header requested outputs and found none free (or found the
+    ejection port busy).  Emitted once per stall episode — the packet
+    must receive a grant before it can emit ``blocked`` again — so the
+    event count is "how often worms stalled", not "cycles spent
+    stalled" (the per-router blocked-cycle *counters* measure the
+    latter).
+``delivered``
+    The tail flit drained into the destination processor.  ``node`` is
+    the destination.
+``dropped``
+    The packet was abandoned, ``cause`` says why (``link-failure``,
+    ``router-failure``, ``timeout-stall``, ``timeout-deadlock``,
+    ``dead-destination``); a retry re-enters as a fresh ``injected``
+    event with a new packet id.
+``killed``
+    An in-flight worm was torn out of the network by a fault (always
+    followed by a ``dropped`` event for the same packet).
+``fault_applied``
+    A :class:`~repro.faults.plan.FaultPlan` event fired.  ``cause`` is
+    ``fail:channel`` / ``heal:router`` etc.; ``node``/``direction``
+    locate the failed resource.
+
+Events encode to single JSON objects (one per line in a JSONL trace
+file) with ``None`` fields omitted, and decode back to identical
+:class:`TraceEvent` values — the round-trip is exact and tested.  A
+trace file's first line is a header record carrying
+:data:`TRACE_SCHEMA`; readers reject schemas they do not understand
+instead of misparsing them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional
+
+TRACE_SCHEMA = 1
+"""Version of the trace event vocabulary and encoding.  Bumped whenever
+an event kind or field changes meaning; written into every trace
+header and checked by :func:`repro.observability.summary.read_trace`."""
+
+INJECTED = "injected"
+HEADER_ADVANCE = "header_advance"
+CHANNEL_ALLOCATED = "channel_allocated"
+BLOCKED = "blocked"
+DELIVERED = "delivered"
+DROPPED = "dropped"
+KILLED = "killed"
+FAULT_APPLIED = "fault_applied"
+
+EVENT_KINDS = (
+    INJECTED,
+    HEADER_ADVANCE,
+    CHANNEL_ALLOCATED,
+    BLOCKED,
+    DELIVERED,
+    DROPPED,
+    KILLED,
+    FAULT_APPLIED,
+)
+"""Every event kind the engine can emit, in rough lifecycle order."""
+
+_FIELDS = ("kind", "cycle", "pid", "node", "channel", "direction", "cause")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One engine event, cycle-stamped.
+
+    ``direction`` is the compact signed-dimension form (``"+d0"`` is
+    east, ``"-d1"`` is south, ...) so events stay plain strings/ints and
+    never drag live topology objects into a trace file.
+    """
+
+    kind: str
+    cycle: int
+    pid: Optional[int] = None
+    node: Optional[int] = None
+    channel: Optional[int] = None
+    direction: Optional[str] = None
+    cause: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown trace event kind {self.kind!r}; "
+                f"expected one of {EVENT_KINDS}"
+            )
+        if self.cycle < 0:
+            raise ValueError(f"cycle must be non-negative, got {self.cycle}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping with ``None`` fields omitted."""
+        out: Dict[str, object] = {}
+        for name in _FIELDS:
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TraceEvent":
+        """Inverse of :meth:`to_dict`; rejects unknown fields."""
+        unknown = set(data) - set(_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown trace event fields: {sorted(unknown)}")
+        return cls(**data)  # type: ignore[arg-type]
+
+    def to_json_line(self) -> str:
+        """One deterministic JSONL line (sorted keys, no whitespace)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def parse_jsonl_line(line: str) -> TraceEvent:
+    """Decode one JSONL line back into a :class:`TraceEvent`."""
+    data = json.loads(line)
+    if not isinstance(data, dict):
+        raise ValueError(f"trace line is not a JSON object: {line!r}")
+    return TraceEvent.from_dict(data)
+
+
+def parse_jsonl(lines: Iterable[str]) -> Iterator[TraceEvent]:
+    """Decode an iterable of JSONL lines, skipping blank lines."""
+    for line in lines:
+        line = line.strip()
+        if line:
+            yield parse_jsonl_line(line)

@@ -1,0 +1,149 @@
+"""Trace sinks: where the engine's event stream goes.
+
+The engine is wired against the tiny :class:`TraceSink` protocol — one
+``emit(event)`` call per event, one ``close()`` at teardown — so traces
+can go to memory (tests, interactive analysis), to a JSONL file (the
+``repro trace`` CLI), or through a kind filter into either.  With no
+sink attached the engine performs a single ``is None`` check per
+*potential* event and nothing else: tracing is zero-overhead when
+disabled, and never perturbs simulation state either way.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Protocol, runtime_checkable
+
+from .events import TRACE_SCHEMA, TraceEvent
+
+HEADER_KIND = "trace-header"
+"""The ``kind`` tag of a trace file's first (header) record."""
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """Anything that can receive the engine's event stream."""
+
+    def emit(self, event: TraceEvent) -> None:
+        """Receive one event (called mid-simulation; must not raise)."""
+        ...  # pragma: no cover - protocol stub
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+        ...  # pragma: no cover - protocol stub
+
+
+def trace_header(
+    topology: Optional[str] = None,
+    algorithm: Optional[str] = None,
+    pattern: Optional[str] = None,
+    config_hash: Optional[str] = None,
+) -> Dict[str, object]:
+    """The header record written as a trace file's first line.
+
+    Carries the schema version plus enough provenance to know what run
+    produced the file; ``None`` entries are omitted.
+    """
+    header: Dict[str, object] = {"kind": HEADER_KIND, "schema": TRACE_SCHEMA}
+    for key, value in (
+        ("topology", topology),
+        ("algorithm", algorithm),
+        ("pattern", pattern),
+        ("config_hash", config_hash),
+    ):
+        if value is not None:
+            header[key] = value
+    return header
+
+
+class ListSink:
+    """Collects events in memory (tests and interactive inspection)."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self.closed = False
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        self.closed = True
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_kind(self, kind: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+
+class JsonlTraceSink:
+    """Streams events to a JSONL file, header line first.
+
+    Accepts a path (opened/closed by the sink) or an open text stream
+    (flushed but left open, so callers can pass ``sys.stdout``).  Usable
+    as a context manager.
+    """
+
+    def __init__(
+        self,
+        target,
+        header: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if isinstance(target, (str, os.PathLike)):
+            self._stream: io.TextIOBase = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self.path = target if isinstance(target, (str, os.PathLike)) else None
+        self.emitted = 0
+        self._closed = False
+        record = header if header is not None else trace_header()
+        self._write_line(json.dumps(record, sort_keys=True, separators=(",", ":")))
+
+    def _write_line(self, line: str) -> None:
+        self._stream.write(line)
+        self._stream.write("\n")
+
+    def emit(self, event: TraceEvent) -> None:
+        self._write_line(event.to_json_line())
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_stream:
+            self._stream.close()
+        else:
+            self._stream.flush()
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class FilteringSink:
+    """Forwards only the named event kinds to an inner sink.
+
+    Keeps big traces small: a channel-utilization study needs
+    ``channel_allocated``/``blocked`` but not every ``header_advance``.
+    """
+
+    def __init__(self, inner: TraceSink, kinds: Iterable[str]) -> None:
+        self.inner = inner
+        self.kinds = frozenset(kinds)
+        self.dropped = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        if event.kind in self.kinds:
+            self.inner.emit(event)
+        else:
+            self.dropped += 1
+
+    def close(self) -> None:
+        self.inner.close()

@@ -1,0 +1,167 @@
+"""Analysis of JSONL trace files for the ``repro trace`` subcommand.
+
+:func:`read_trace` validates a file's header (schema check) and streams
+its events; :func:`summarize_trace` folds an event stream into a
+:class:`TraceSummary` — counts by kind, drops by cause, the most
+stall-prone routers, and network-transit statistics computed by pairing
+each packet's ``injected`` and ``delivered`` events.  The summary
+renders as text or JSON, so a CI bench-smoke job can archive the JSON
+and a human can read the text.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .collectors import latency_percentiles
+from .events import (
+    BLOCKED,
+    DELIVERED,
+    DROPPED,
+    INJECTED,
+    TRACE_SCHEMA,
+    TraceEvent,
+    parse_jsonl_line,
+)
+from .sinks import HEADER_KIND
+
+
+def read_trace(path) -> Tuple[Dict[str, object], Iterator[TraceEvent]]:
+    """Open a JSONL trace: return ``(header, event_iterator)``.
+
+    Raises :class:`ValueError` if the first line is not a trace header
+    or declares a schema this reader does not understand.  The iterator
+    streams, so multi-gigabyte traces never load whole.
+    """
+    path = Path(path)
+    stream = path.open("r", encoding="utf-8")
+    first = stream.readline()
+    try:
+        header = json.loads(first) if first.strip() else None
+    except json.JSONDecodeError:
+        header = None
+    if not isinstance(header, dict) or header.get("kind") != HEADER_KIND:
+        stream.close()
+        raise ValueError(
+            f"{path}: not a trace file (first line must be a "
+            f"{HEADER_KIND!r} record)"
+        )
+    schema = header.get("schema")
+    if schema != TRACE_SCHEMA:
+        stream.close()
+        raise ValueError(
+            f"{path}: trace schema {schema!r} is not supported "
+            f"(this reader understands schema {TRACE_SCHEMA})"
+        )
+
+    def events() -> Iterator[TraceEvent]:
+        with stream:
+            for line in stream:
+                line = line.strip()
+                if line:
+                    yield parse_jsonl_line(line)
+
+    return header, events()
+
+
+@dataclass
+class TraceSummary:
+    """What a trace says happened, aggregated."""
+
+    total_events: int = 0
+    counts_by_kind: Dict[str, int] = field(default_factory=dict)
+    drops_by_cause: Dict[str, int] = field(default_factory=dict)
+    blocked_by_node: Dict[int, int] = field(default_factory=dict)
+    first_cycle: Optional[int] = None
+    last_cycle: Optional[int] = None
+    transit_histogram: Dict[int, int] = field(default_factory=dict)
+    """Injection-to-delivery cycles per delivered packet (paired from
+    the packet's ``injected`` and ``delivered`` events)."""
+
+    @property
+    def transit_percentiles(self) -> Dict[str, Optional[int]]:
+        return latency_percentiles(self.transit_histogram)
+
+    def top_blocked_nodes(self, top: int = 5) -> List[Tuple[int, int]]:
+        """The ``top`` routers with the most ``blocked`` events, as
+        (node, stall episodes), descending."""
+        ranked = sorted(self.blocked_by_node.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:top]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "total_events": self.total_events,
+            "counts_by_kind": {
+                kind: self.counts_by_kind[kind]
+                for kind in sorted(self.counts_by_kind)
+            },
+            "drops_by_cause": {
+                cause: self.drops_by_cause[cause]
+                for cause in sorted(self.drops_by_cause)
+            },
+            "top_blocked_nodes": [
+                {"node": node, "stalls": stalls}
+                for node, stalls in self.top_blocked_nodes()
+            ],
+            "first_cycle": self.first_cycle,
+            "last_cycle": self.last_cycle,
+            "transit_percentiles": self.transit_percentiles,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"trace: {self.total_events} events, "
+            f"cycles {self.first_cycle}..{self.last_cycle}"
+        ]
+        for kind in sorted(self.counts_by_kind):
+            lines.append(f"  {kind:18s} {self.counts_by_kind[kind]:8d}")
+        if self.drops_by_cause:
+            lines.append("drops by cause:")
+            for cause in sorted(self.drops_by_cause):
+                lines.append(f"  {cause:18s} {self.drops_by_cause[cause]:8d}")
+        if self.transit_histogram:
+            pct = self.transit_percentiles
+            lines.append(
+                "network transit (injection->delivery, cycles): "
+                + ", ".join(f"{k}={v}" for k, v in pct.items())
+            )
+        if self.blocked_by_node:
+            lines.append("most stall-prone routers (node: stall episodes):")
+            for node, stalls in self.top_blocked_nodes():
+                lines.append(f"  node {node:5d}: {stalls}")
+        return "\n".join(lines)
+
+
+def summarize_trace(events: Iterable[TraceEvent]) -> TraceSummary:
+    """Fold an event stream into a :class:`TraceSummary` (streaming)."""
+    summary = TraceSummary()
+    injected_at: Dict[int, int] = {}
+    for event in events:
+        summary.total_events += 1
+        summary.counts_by_kind[event.kind] = (
+            summary.counts_by_kind.get(event.kind, 0) + 1
+        )
+        if summary.first_cycle is None:
+            summary.first_cycle = event.cycle
+        summary.last_cycle = event.cycle
+        if event.kind == INJECTED and event.pid is not None:
+            injected_at[event.pid] = event.cycle
+        elif event.kind == DELIVERED and event.pid is not None:
+            start = injected_at.pop(event.pid, None)
+            if start is not None:
+                transit = event.cycle - start
+                summary.transit_histogram[transit] = (
+                    summary.transit_histogram.get(transit, 0) + 1
+                )
+        elif event.kind == DROPPED and event.cause is not None:
+            summary.drops_by_cause[event.cause] = (
+                summary.drops_by_cause.get(event.cause, 0) + 1
+            )
+        elif event.kind == BLOCKED and event.node is not None:
+            summary.blocked_by_node[event.node] = (
+                summary.blocked_by_node.get(event.node, 0) + 1
+            )
+    return summary

@@ -27,7 +27,7 @@ from typing import List, Optional, Tuple
 
 from ..topology.base import Direction, NEGATIVE, POSITIVE, Topology
 from ..topology.torus import KAryNCube
-from .base import RoutingAlgorithm, require_mesh_dims
+from .base import RoutingAlgorithm
 
 
 class DatelineDimensionOrder(RoutingAlgorithm):

@@ -20,8 +20,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field, fields
-from typing import Dict, Sequence, Tuple
+from dataclasses import dataclass, fields
+from typing import Dict, Tuple
 
 from ..faults.plan import FaultPlan
 
@@ -95,6 +95,24 @@ class SimulationConfig:
     """Safety valve: stop generating at a node whose backlog exceeds this
     (the run is long past saturation by then)."""
 
+    # -- observability (see docs/OBSERVABILITY.md) ----------------------------
+
+    channel_series_period: int = 0
+    """Bucket width, in cycles, of the per-channel utilization time
+    series collected during the measurement window (exposed as
+    ``SimulationResult.channel_util_series``).  0 disables the series;
+    the end-of-run totals remain available via ``track_channel_load``."""
+
+    collect_router_blocked: bool = False
+    """Count, per router, the measured cycles it hosted a header waiting
+    for an output grant or the ejection port (exposed as
+    ``SimulationResult.router_blocked_cycles``)."""
+
+    collect_latency_histogram: bool = False
+    """Record the exact creation-to-delivery latency histogram of
+    measured packets (exposed as ``SimulationResult.latency_histogram``
+    with exact nearest-rank percentiles)."""
+
     # -- fault injection and graceful degradation ----------------------------
 
     fault_plan: FaultPlan = FaultPlan()
@@ -143,6 +161,10 @@ class SimulationConfig:
             raise ValueError("deadlock_threshold must be positive")
         if self.queue_sample_period <= 0:
             raise ValueError("queue_sample_period must be positive")
+        if self.channel_series_period < 0:
+            raise ValueError(
+                "channel_series_period must be non-negative (0 disables)"
+            )
         if isinstance(self.fault_plan, dict):
             object.__setattr__(
                 self, "fault_plan", FaultPlan.from_dict(self.fault_plan)
@@ -200,6 +222,23 @@ class SimulationConfig:
         from dataclasses import replace
 
         return replace(self, fault_plan=fault_plan)
+
+    def with_observability(
+        self,
+        channel_series_period: int = 100,
+        collect_router_blocked: bool = True,
+        collect_latency_histogram: bool = True,
+    ) -> "SimulationConfig":
+        """Copy of this config with the metrics collectors switched on
+        (the ``repro trace`` defaults; see docs/OBSERVABILITY.md)."""
+        from dataclasses import replace
+
+        return replace(
+            self,
+            channel_series_period=channel_series_period,
+            collect_router_blocked=collect_router_blocked,
+            collect_latency_histogram=collect_latency_histogram,
+        )
 
     # -- stable serialization ------------------------------------------------
     #

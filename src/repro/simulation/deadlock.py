@@ -12,7 +12,7 @@ do.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from ..verification.graph import DiGraph
 from .engine import WormholeSimulator

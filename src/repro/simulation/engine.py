@@ -35,19 +35,45 @@ wait-for graph; dropped packets are retried from the source with bounded
 exponential backoff (``config.max_retries``).  With the default empty
 plan and the watchdog/retry knobs at zero, every fault hook is skipped
 and the simulation is bit-identical to the fault-free engine.
+
+**Observability** (see docs/OBSERVABILITY.md): pass a
+:class:`~repro.observability.sinks.TraceSink` to receive cycle-stamped
+packet-lifecycle events (``injected``, ``channel_allocated``,
+``header_advance``, ``blocked``, ``delivered``, ``dropped``, ``killed``,
+``fault_applied``); switch on the config's collector knobs for
+per-channel utilization time series, per-router blocked-cycle counters,
+and exact latency histograms; pass a
+:class:`~repro.observability.profiler.PhaseProfiler` to time the hot
+phases.  All three are strictly observational — they never touch the
+RNG or reorder any decision — and with all of them off the engine runs
+exactly the instruction sequence it ran before they existed (the
+golden-fingerprint tests pin this down bit-for-bit).
 """
 
 from __future__ import annotations
 
 import random
+import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Set
 
 from ..faults.plan import CHANNEL_FAULT, FAIL
 from ..faults.routing import FaultAwareRouting
 from ..faults.state import FaultState
+from ..observability.collectors import MetricsCollectors
+from ..observability.events import (
+    BLOCKED,
+    CHANNEL_ALLOCATED,
+    DELIVERED,
+    DROPPED,
+    FAULT_APPLIED,
+    HEADER_ADVANCE,
+    INJECTED,
+    KILLED,
+    TraceEvent,
+)
 from ..routing.base import RoutingAlgorithm
-from ..topology.base import Direction, Topology
+from ..topology.base import Topology
 from .config import SimulationConfig
 from .metrics import SimulationResult
 from .packet import ChannelHold, Packet, PacketState
@@ -62,6 +88,8 @@ class WormholeSimulator:
         algorithm: RoutingAlgorithm,
         pattern,
         config: SimulationConfig,
+        sink=None,
+        profiler=None,
     ) -> None:
         self.algorithm = algorithm
         self.pattern = pattern
@@ -126,6 +154,43 @@ class WormholeSimulator:
             self.algorithm = FaultAwareRouting(algorithm, self.fault_state)
         self._retry_at: Dict[int, List[Packet]] = {}  # cycle -> retries due
 
+        # Observability: a trace sink, streaming metrics collectors, and
+        # a phase profiler — each held as None when disabled so every
+        # hook below is one pointer check.  None of them ever touches
+        # the RNG or reorders a decision, so enabling them cannot change
+        # the simulated outcome (and disabling them restores the exact
+        # pre-observability instruction sequence).
+        self._sink = sink
+        self._emit = sink.emit if sink is not None else None
+        self._blocked_noted: Set[Packet] = set()  # one `blocked` per stall
+        self._collectors: Optional[MetricsCollectors] = None
+        if (
+            config.channel_series_period > 0
+            or config.collect_router_blocked
+            or config.collect_latency_histogram
+        ):
+            self._collectors = MetricsCollectors(
+                len(self.channels),
+                self.topology.num_nodes,
+                channel_series_period=config.channel_series_period,
+                collect_router_blocked=config.collect_router_blocked,
+                collect_latency_histogram=config.collect_latency_histogram,
+            )
+        self._profiler = profiler
+        if profiler is not None:
+            # Shadow the routing decision with a timed wrapper so the
+            # report can split "route" out of "allocate".
+            inner_candidates = self._candidate_channels
+            perf = time.perf_counter
+
+            def timed_candidates(packet: Packet) -> List[tuple]:
+                started = perf()
+                out = inner_candidates(packet)
+                profiler.add("route", perf() - started)
+                return out
+
+            self._candidate_channels = timed_candidates  # type: ignore[method-assign]
+
         self.result = SimulationResult(
             algorithm=algorithm.name,
             pattern=getattr(pattern, "name", type(pattern).__name__),
@@ -158,6 +223,8 @@ class WormholeSimulator:
                 break
         self.result.inflight_at_end = len(self.active)
         self.result.channel_flits = self.channel_load
+        if self._collectors is not None:
+            self._collectors.finish(self.result)
         for packet in self.waiting:  # headers still stalled at the end
             age = self.cycle - packet.header_wait_since
             if age > self.result.max_stall_age_cycles:
@@ -171,6 +238,16 @@ class WormholeSimulator:
 
     def _cycle_body(self, cycle: int) -> None:
         """One simulator cycle: faults, retries, then the three stages."""
+        if self._profiler is not None:
+            self._cycle_stages_profiled(cycle)
+        else:
+            self._cycle_stages(cycle)
+        if self._collectors is not None and (
+            self.config.warmup_cycles <= cycle < self.config.generation_cycles
+        ):
+            self._collectors.on_cycle_end(self.waiting)
+
+    def _cycle_stages(self, cycle: int) -> None:
         if self._fault_schedule:
             self._apply_faults(cycle)
         if self._retry_at:
@@ -182,6 +259,36 @@ class WormholeSimulator:
         self._move(cycle)
         if self.config.packet_timeout and self.waiting:
             self._check_packet_timeouts(cycle)
+
+    def _cycle_stages_profiled(self, cycle: int) -> None:
+        """:meth:`_cycle_stages` with a ``perf_counter`` pair around each
+        stage (kept in lockstep with the unprofiled path — the sequence
+        of stage calls must stay identical)."""
+        profiler = self._profiler
+        perf = time.perf_counter
+        if self._fault_schedule:
+            started = perf()
+            self._apply_faults(cycle)
+            profiler.add("faults", perf() - started)
+        if self._retry_at:
+            for packet in self._retry_at.pop(cycle, ()):
+                self._requeue(packet)
+        started = perf()
+        self._generate(cycle)
+        profiler.add("generate", perf() - started)
+        started = perf()
+        self._inject(cycle)
+        profiler.add("inject", perf() - started)
+        started = perf()
+        self._arbitrate(cycle)
+        profiler.add("allocate", perf() - started)
+        started = perf()
+        self._move(cycle)
+        profiler.add("advance", perf() - started)
+        if self.config.packet_timeout and self.waiting:
+            started = perf()
+            self._check_packet_timeouts(cycle)
+            profiler.add("watchdog", perf() - started)
 
     # -- stage 1: generation and injection ------------------------------------
 
@@ -272,6 +379,10 @@ class WormholeSimulator:
             self.waiting[packet] = None
             self.active[packet] = None
             self.pending_nodes.discard(node)
+            if self._emit is not None:
+                self._emit(
+                    TraceEvent(INJECTED, cycle, pid=packet.pid, node=node)
+                )
 
     # -- stage 2: arbitration --------------------------------------------------
 
@@ -331,13 +442,18 @@ class WormholeSimulator:
             return
         channel_requests: Dict[int, List[Packet]] = {}
         eject_requests: Dict[int, List[Packet]] = {}
+        emit = self._emit
         for packet in self.waiting:
             if packet.state is PacketState.EJECT_WAIT:
                 if self.ejection_alloc[packet.head_node] is None:
                     eject_requests.setdefault(packet.head_node, []).append(packet)
+                elif emit is not None:
+                    self._note_blocked(packet, cycle)
                 continue
             free = self._candidate_channels(packet)
             if not free:
+                if emit is not None:
+                    self._note_blocked(packet, cycle)
                 continue
             directions = []
             for direction, _ in free:
@@ -357,6 +473,18 @@ class WormholeSimulator:
             self.waiting.pop(winner, None)
             self.dormant.discard(winner)
             self.last_progress = cycle
+            if emit is not None:
+                self._blocked_noted.discard(winner)
+
+    def _note_blocked(self, packet: Packet, cycle: int) -> None:
+        """Emit one ``blocked`` event per stall episode (the packet must
+        receive a grant before it counts as newly blocked again)."""
+        if packet in self._blocked_noted:
+            return
+        self._blocked_noted.add(packet)
+        self._emit(
+            TraceEvent(BLOCKED, cycle, pid=packet.pid, node=packet.head_node)
+        )
 
     def _grant_channel(self, packet: Packet, cid: int) -> None:
         if self.cycle >= self.config.warmup_cycles:
@@ -375,6 +503,18 @@ class WormholeSimulator:
         self.waiting.pop(packet, None)
         self.dormant.discard(packet)
         self.last_progress = self.cycle
+        if self._emit is not None:
+            self._blocked_noted.discard(packet)
+            self._emit(
+                TraceEvent(
+                    CHANNEL_ALLOCATED,
+                    self.cycle,
+                    pid=packet.pid,
+                    node=channel.src,
+                    channel=cid,
+                    direction=repr(channel.direction),
+                )
+            )
 
     # -- stage 3: movement -------------------------------------------------------
 
@@ -383,6 +523,13 @@ class WormholeSimulator:
         loads = None
         if self.channel_load is not None and cycle >= self.config.warmup_cycles:
             loads = self.channel_load
+        series = None
+        if (
+            self._collectors is not None
+            and self._collectors.channel_counts is not None
+            and self.config.warmup_cycles <= cycle < self.config.generation_cycles
+        ):
+            series = self._collectors.channel_counts
         movers = [p for p in self.active if p not in self.dormant]
         links_used = None
         if self.num_vc > 1 and movers:
@@ -394,7 +541,7 @@ class WormholeSimulator:
         for packet in movers:
             self._link_blocked = False
             moved = self._move_packet(
-                packet, cycle, buffer_depth, loads, links_used
+                packet, cycle, buffer_depth, loads, links_used, series
             )
             if moved:
                 self.last_progress = cycle
@@ -412,6 +559,7 @@ class WormholeSimulator:
         buffer_depth: int,
         loads=None,
         links_used=None,
+        series=None,
     ) -> int:
         moved = 0
         holds = packet.holds
@@ -454,6 +602,8 @@ class WormholeSimulator:
             moved += 1
             if loads is not None:
                 loads[hold.channel_id] += 1
+            if series is not None:
+                series[hold.channel_id] += 1
         # Header arrival at the next router.
         if packet.state is PacketState.MOVING and holds and holds[-1].moved > 0:
             channel = self.channels[holds[-1].channel_id]
@@ -467,6 +617,17 @@ class WormholeSimulator:
                 else PacketState.ROUTING
             )
             self.waiting[packet] = None
+            if self._emit is not None:
+                self._emit(
+                    TraceEvent(
+                        HEADER_ADVANCE,
+                        cycle,
+                        pid=packet.pid,
+                        node=channel.dst,
+                        channel=holds[-1].channel_id,
+                        direction=repr(channel.direction),
+                    )
+                )
         # Release drained channels at the tail.
         while holds and holds[0].moved >= packet.length and holds[0].buffered == 0:
             hold = holds.pop(0)
@@ -493,6 +654,20 @@ class WormholeSimulator:
         state = self.fault_state
         assert state is not None
         for action, event in events:
+            if self._emit is not None:
+                self._emit(
+                    TraceEvent(
+                        FAULT_APPLIED,
+                        cycle,
+                        node=event.node,
+                        direction=(
+                            repr(event.direction)
+                            if event.kind == CHANNEL_FAULT
+                            else None
+                        ),
+                        cause=f"{action}:{event.kind}",
+                    )
+                )
             if event.kind == CHANNEL_FAULT:
                 if action == FAIL:
                     state.fail_channel(event.node, event.direction)
@@ -557,6 +732,17 @@ class WormholeSimulator:
         self.active.pop(packet, None)
         self.waiting.pop(packet, None)
         self.dormant.discard(packet)
+        if self._emit is not None and killed:
+            self._blocked_noted.discard(packet)
+            self._emit(
+                TraceEvent(
+                    KILLED,
+                    cycle,
+                    pid=packet.pid,
+                    node=packet.head_node,
+                    cause=cause,
+                )
+            )
         self._finish_drop(packet, cycle, cause, killed=killed)
 
     def _finish_drop(
@@ -566,6 +752,17 @@ class WormholeSimulator:
         packet.state = PacketState.DROPPED
         packet.drop_cause = cause
         self.last_progress = cycle  # freed resources are progress
+        if self._emit is not None:
+            self._blocked_noted.discard(packet)
+            self._emit(
+                TraceEvent(
+                    DROPPED,
+                    cycle,
+                    pid=packet.pid,
+                    node=packet.head_node,
+                    cause=cause,
+                )
+            )
         result = self.result
         measured = packet.created >= self.config.warmup_cycles
         if measured:
@@ -632,6 +829,10 @@ class WormholeSimulator:
         self.ejection_alloc[packet.dst] = None
         self.active.pop(packet, None)
         self.dormant.discard(packet)
+        if self._emit is not None:
+            self._emit(
+                TraceEvent(DELIVERED, cycle, pid=packet.pid, node=packet.dst)
+            )
         if packet.created >= self.config.warmup_cycles:
             result = self.result
             result.delivered_packets += 1
@@ -645,3 +846,5 @@ class WormholeSimulator:
             result.latency_by_length.setdefault(packet.length, []).append(
                 cycle - packet.created
             )
+            if self._collectors is not None:
+                self._collectors.on_delivery(cycle - packet.created)

@@ -49,6 +49,29 @@ class SimulationResult:
     measurement window — the paper's indefinite-postponement concern.
     Local FCFS keeps this bounded; unfair policies let it grow."""
 
+    # -- observability collectors (docs/OBSERVABILITY.md) ---------------------
+
+    channel_util_series: Optional[List[List[int]]] = None
+    """Per-channel utilization time series: one row per sample bucket of
+    the measurement window, each row the flits that crossed every channel
+    during that bucket (indexed like the simulator's channel list).
+    Present when ``config.channel_series_period > 0``."""
+
+    channel_series_period: Optional[int] = None
+    """Bucket width, in cycles, of ``channel_util_series`` (the final
+    bucket may cover fewer cycles if the window is not a multiple)."""
+
+    router_blocked_cycles: Optional[List[int]] = None
+    """Per-router count of measured cycles the router hosted a header
+    waiting for an output grant or the ejection port.  Present when
+    ``config.collect_router_blocked`` is set."""
+
+    latency_histogram: Optional[Dict[int, int]] = None
+    """Exact creation-to-delivery latency histogram of measured packets
+    (cycles -> deliveries).  Present when
+    ``config.collect_latency_histogram`` is set; feeds
+    :meth:`latency_percentile`."""
+
     # -- graceful degradation (fault injection / watchdog / retry) -----------
 
     dropped_packets: int = 0
@@ -122,6 +145,29 @@ class SimulationResult:
             return None
         return self.total_hops / self.delivered_packets
 
+    def latency_percentile(self, percentile: float) -> Optional[int]:
+        """Exact nearest-rank latency percentile, in cycles, from the
+        collected histogram (``None`` when the histogram is absent or
+        empty; requires ``config.collect_latency_histogram``)."""
+        if self.latency_histogram is None:
+            return None
+        from ..observability.collectors import exact_percentile
+
+        return exact_percentile(self.latency_histogram, percentile)
+
+    def channel_utilization(self) -> Optional[List[float]]:
+        """Per-channel mean utilization (fraction of measured cycles the
+        channel carried a flit), from the collected time series."""
+        series = self.channel_util_series
+        if series is None or not series:
+            return None
+        cycles = self.measure_cycles
+        totals = [0] * len(series[0])
+        for bucket in series:
+            for i, flits in enumerate(bucket):
+                totals[i] += flits
+        return [total / cycles for total in totals]
+
     @property
     def delivery_ratio(self) -> Optional[float]:
         """Delivered fraction of the measured generated packets — the
@@ -186,7 +232,7 @@ class SimulationResult:
     # The result travels through the on-disk cache and the ``faults`` CLI
     # JSON report; dict-valued fields are emitted with sorted keys so the
     # encoding is deterministic across processes and Python versions
-    # (cache schema 2 — see docs/PERFORMANCE.md).
+    # (cache schema 3 — see docs/PERFORMANCE.md).
 
     def to_dict(self) -> Dict[str, object]:
         """All fields as JSON-serializable values with stable ordering."""
@@ -202,6 +248,10 @@ class SimulationResult:
                 }
             elif f.name == "drops_by_cause":
                 value = {cause: value[cause] for cause in sorted(value)}
+            elif f.name == "latency_histogram" and value is not None:
+                value = {
+                    str(latency): value[latency] for latency in sorted(value)
+                }
             out[f.name] = value
         return out
 
@@ -213,5 +263,10 @@ class SimulationResult:
             kwargs["latency_by_length"] = {
                 int(length): list(samples)
                 for length, samples in kwargs["latency_by_length"].items()  # type: ignore[union-attr]
+            }
+        if kwargs.get("latency_histogram") is not None:
+            kwargs["latency_histogram"] = {
+                int(latency): count
+                for latency, count in kwargs["latency_histogram"].items()  # type: ignore[union-attr]
             }
         return cls(**kwargs)  # type: ignore[arg-type]

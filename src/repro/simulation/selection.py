@@ -13,7 +13,7 @@ depth).
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, Sequence
 
 from ..topology.base import Direction
 from .packet import Packet

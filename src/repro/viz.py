@@ -8,7 +8,7 @@ handy when debugging a routing algorithm interactively.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .core.turn_model import TurnModel
 from .topology.base import COMPASS_NAMES, Direction, EAST, NORTH, SOUTH, WEST
@@ -127,6 +127,51 @@ def render_channel_utilization(
             row.append(values.get((x, y), ".").rjust(width))
         lines.append("".join(row))
     return "\n".join(lines)
+
+
+def render_utilization_heatmaps(
+    mesh: Mesh2D,
+    channels: Sequence,
+    channel_totals: Sequence[int],
+    measure_cycles: int,
+    directions: Optional[Sequence[Direction]] = None,
+) -> str:
+    """All four compass heatmaps from per-channel flit totals.
+
+    Virtual channels are folded onto their physical link (the runtime
+    channel list repeats each physical channel ``num_vc`` times; totals
+    for the same ``(src, direction)`` are summed), so the grids always
+    show physical-link utilization.  Pairs with the observability
+    collectors' ``channel_util_series`` (summed over buckets) or with
+    ``SimulationResult.channel_flits``.
+    """
+    if measure_cycles <= 0:
+        raise ValueError("measure_cycles must be positive")
+    totals: Dict[tuple, int] = {}
+    for channel, flits in zip(channels, channel_totals):
+        key = (channel.src, channel.direction)
+        totals[key] = totals.get(key, 0) + flits
+    if directions is None:
+        directions = [WEST, EAST, SOUTH, NORTH]
+    sections = []
+    for direction in directions:
+        values: Dict[tuple, str] = {
+            mesh.coords(src): f"{100.0 * flits / measure_cycles:.0f}"
+            for (src, chan_dir), flits in totals.items()
+            if chan_dir == direction
+        }
+        lines = [
+            f"channel utilization %, direction "
+            f"{COMPASS_NAMES.get(direction, direction)}:"
+        ]
+        width = max((len(v) for v in values.values()), default=1) + 1
+        for y in range(mesh.n - 1, -1, -1):
+            row = []
+            for x in range(mesh.m):
+                row.append(values.get((x, y), ".").rjust(width))
+            lines.append("".join(row))
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections)
 
 
 def hottest_channels(

@@ -8,7 +8,7 @@ from repro.analysis.sweep import SweepSeries
 
 def fake_series(name, best):
     series = SweepSeries(name, "uniform", [])
-    series.max_sustainable_throughput = lambda: best
+    series.max_sustainable_throughput = lambda: best  # noqa: E731
     return series
 
 

@@ -125,6 +125,9 @@ class TestCacheKey:
             "max_retries": 1,
             "retry_backoff_base": 64,
             "retry_backoff_cap": 4_096,
+            "channel_series_period": 100,
+            "collect_router_blocked": True,
+            "collect_latency_histogram": True,
         }
         assert set(changed) == {
             f.name for f in dataclasses.fields(SimulationConfig)

@@ -112,8 +112,8 @@ class TestClaimsHelpers:
     def test_adaptive_vs_nonadaptive_ratio(self):
         a = SweepSeries("xy", "transpose", [])
         b = SweepSeries("west-first", "transpose", [])
-        a.max_sustainable_throughput = lambda: 100.0
-        b.max_sustainable_throughput = lambda: 180.0
+        a.max_sustainable_throughput = lambda: 100.0  # noqa: E731
+        b.max_sustainable_throughput = lambda: 180.0  # noqa: E731
         ratio = adaptive_vs_nonadaptive([a, b])
         assert ratio.ratio == pytest.approx(1.8)
         assert ratio.best_adaptive == "west-first"

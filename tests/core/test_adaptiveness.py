@@ -28,7 +28,6 @@ from repro.routing import (
     NorthLast,
     PCube,
     WestFirst,
-    enumerate_minimal_paths,
 )
 from repro.topology import Hypercube, Mesh2D
 

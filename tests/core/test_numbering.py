@@ -5,7 +5,6 @@ path each algorithm can produce; these tests enumerate every minimal path
 on small meshes and check every hop.
 """
 
-import pytest
 
 from repro.core import (
     dimension_order_numbering,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.faults import FaultEvent, FaultPlan, PERMANENT
+from repro.faults import FaultEvent, FaultPlan
 from repro.faults.plan import FAIL, HEAL
 from repro.simulation import SimulationConfig
 from repro.topology import EAST, Mesh2D, NORTH

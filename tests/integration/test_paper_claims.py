@@ -8,13 +8,10 @@ Each test names the paper artifact it checks.
 import math
 from fractions import Fraction
 
-import pytest
-
 from repro.core import (
     TurnModel,
     average_adaptiveness_ratio,
     count_shortest_paths,
-    s_fully_adaptive,
     s_negative_first,
     s_north_last,
     s_pcube,

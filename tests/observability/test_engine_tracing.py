@@ -1,0 +1,295 @@
+"""Engine-side observability: bit-identity with tracing on or off,
+event-stream invariants, collector correctness, and profiling."""
+
+import math
+
+import pytest
+
+from repro.analysis.runner import make_pattern, parse_topology_spec
+from repro.observability import JsonlTraceSink, ListSink, PhaseProfiler, read_trace
+from repro.observability.sinks import FilteringSink
+from repro.routing import make_algorithm
+from repro.simulation import SimulationConfig, WormholeSimulator
+
+# The PR 2 golden fingerprints (mirrors tests/faults/test_fault_injection.py):
+# operating points captured from the engine before the fault subsystem —
+# and now the observability subsystem — existed.  Tracing and collection
+# must never move a single number.
+GOLDEN = [
+    (
+        "mesh:8x8", "west-first", "uniform",
+        dict(offered_load=1.2, seed=3, warmup_cycles=500,
+             measure_cycles=2_000),
+        (71, 65, 7870, 10641, 9666, 343, 0, 218, 6),
+    ),
+    (
+        "mesh:8x8", "xy", "transpose",
+        dict(offered_load=0.8, seed=11, warmup_cycles=400,
+             measure_cycles=1_500),
+        (37, 36, 3400, 4860, 4242, 212, 0, 213, 1),
+    ),
+    (
+        "cube:6", "p-cube", "uniform",
+        dict(offered_load=2.0, seed=5, warmup_cycles=300,
+             measure_cycles=1_200),
+        (57, 51, 6780, 8251, 7511, 160, 0, 222, 6),
+    ),
+    (
+        "torus:6x2", "negative-first-torus", "uniform",
+        dict(offered_load=0.6, seed=9, warmup_cycles=300,
+             measure_cycles=1_200, virtual_channels=2),
+        (14, 14, 520, 564, 564, 58, 8, 1, 0),
+    ),
+]
+
+FINGERPRINT_FIELDS = (
+    "generated_packets", "delivered_packets", "delivered_flits",
+    "total_latency_cycles", "total_net_latency_cycles", "total_hops",
+    "total_misroutes", "max_grant_wait_cycles", "inflight_at_end",
+)
+
+
+def _simulate(topo_spec, algorithm, pattern, config, **engine_kwargs):
+    topology = parse_topology_spec(topo_spec)
+    sim = WormholeSimulator(
+        make_algorithm(algorithm, topology),
+        make_pattern(pattern, topology),
+        config,
+        **engine_kwargs,
+    )
+    return sim, sim.run()
+
+
+def _fingerprint(result):
+    return tuple(getattr(result, name) for name in FINGERPRINT_FIELDS)
+
+
+class TestBitIdentity:
+    def test_disabled_observability_reproduces_golden(self):
+        """The default path — no sink, no collectors — must still land
+        exactly on the PR 2 fingerprint."""
+        topo_spec, algorithm, pattern, overrides, expected = GOLDEN[0]
+        sim, result = _simulate(
+            topo_spec, algorithm, pattern, SimulationConfig(**overrides)
+        )
+        assert sim._sink is None and sim._collectors is None
+        assert _fingerprint(result) == expected
+        assert result.channel_util_series is None
+        assert result.router_blocked_cycles is None
+        assert result.latency_histogram is None
+
+    @pytest.mark.parametrize(
+        "topo_spec,algorithm,pattern,overrides,expected", GOLDEN
+    )
+    def test_full_observability_reproduces_golden(
+        self, topo_spec, algorithm, pattern, overrides, expected
+    ):
+        """Sink + every collector + profiler attached: the fingerprint
+        must not move by one flit — observability reads the simulation,
+        never steers it."""
+        config = SimulationConfig(**overrides).with_observability()
+        sink = ListSink()
+        _, result = _simulate(
+            topo_spec,
+            algorithm,
+            pattern,
+            config,
+            sink=sink,
+            profiler=PhaseProfiler(),
+        )
+        assert _fingerprint(result) == expected
+        assert sink.events  # the run actually traced
+
+    def test_event_stream_is_deterministic(self):
+        def run():
+            sink = ListSink()
+            _simulate(
+                "mesh:6x6",
+                "west-first",
+                "uniform",
+                SimulationConfig(
+                    offered_load=1.0, seed=13, warmup_cycles=200,
+                    measure_cycles=800,
+                ),
+                sink=sink,
+            )
+            return sink.events
+
+        assert run() == run()
+
+
+class TestEventInvariants:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        topo_spec, algorithm, pattern, overrides, _ = GOLDEN[0]
+        config = SimulationConfig(**overrides).with_observability()
+        sink = ListSink()
+        sim, result = _simulate(
+            topo_spec, algorithm, pattern, config, sink=sink
+        )
+        return sim, result, sink
+
+    def test_cycles_are_monotonic(self, traced):
+        _, _, sink = traced
+        cycles = [event.cycle for event in sink.events]
+        assert cycles == sorted(cycles)
+
+    def test_every_delivery_was_injected_first(self, traced):
+        _, _, sink = traced
+        injected = {event.pid: event.cycle for event in sink.by_kind("injected")}
+        for event in sink.by_kind("delivered"):
+            assert event.pid in injected
+            assert injected[event.pid] <= event.cycle
+
+    def test_grants_match_header_advances(self, traced):
+        # Fault-free: every granted channel is eventually crossed by the
+        # header, and every crossing was granted.
+        _, _, sink = traced
+        grants = len(sink.by_kind("channel_allocated"))
+        advances = len(sink.by_kind("header_advance"))
+        assert grants == advances > 0
+
+    def test_no_fault_events_in_a_fault_free_run(self, traced):
+        _, _, sink = traced
+        for kind in ("dropped", "killed", "fault_applied"):
+            assert sink.by_kind(kind) == []
+
+    def test_blocked_emitted_once_per_stall_episode(self, traced):
+        # A packet may block many times, but never twice without an
+        # intervening grant (or ejection) for that packet.
+        _, _, sink = traced
+        blocked_since_grant = set()
+        for event in sink.events:
+            if event.kind == "blocked":
+                assert event.pid not in blocked_since_grant
+                blocked_since_grant.add(event.pid)
+            elif event.kind in ("channel_allocated", "delivered"):
+                blocked_since_grant.discard(event.pid)
+        assert sink.by_kind("blocked")  # load 1.2 certainly stalls
+
+    def test_channel_allocated_carries_location(self, traced):
+        sim, _, sink = traced
+        for event in sink.by_kind("channel_allocated"):
+            channel = sim.channels[event.channel]
+            assert channel.src == event.node
+            assert repr(channel.direction) == event.direction
+
+
+class TestCollectorsInEngine:
+    @pytest.fixture(scope="class")
+    def collected(self):
+        topo_spec, algorithm, pattern, overrides, _ = GOLDEN[0]
+        config = SimulationConfig(
+            track_channel_load=True, **overrides
+        ).with_observability()
+        sim, result = _simulate(topo_spec, algorithm, pattern, config)
+        return sim, result
+
+    def test_histogram_mass_equals_measured_deliveries(self, collected):
+        _, result = collected
+        assert sum(result.latency_histogram.values()) == result.delivered_packets
+
+    def test_percentiles_are_exact_order_statistics(self, collected):
+        _, result = collected
+        p50 = result.latency_percentile(50)
+        p100 = result.latency_percentile(100)
+        mean = result.total_latency_cycles / result.delivered_packets
+        assert min(result.latency_histogram) <= p50 <= p100
+        assert p100 == max(result.latency_histogram)
+        assert min(result.latency_histogram) <= mean <= p100
+
+    def test_series_covers_exactly_the_measurement_window(self, collected):
+        _, result = collected
+        expected_buckets = math.ceil(
+            result.measure_cycles / result.channel_series_period
+        )
+        assert len(result.channel_util_series) == expected_buckets
+
+    def test_series_totals_bounded_by_channel_load(self, collected):
+        # channel_flits counts warmup-end onward *including* the drain
+        # phase; the series covers only the measurement window, so it
+        # can never exceed channel_flits on any channel.
+        sim, result = collected
+        totals = [0] * len(sim.channels)
+        for bucket in result.channel_util_series:
+            for i, flits in enumerate(bucket):
+                totals[i] += flits
+        assert len(totals) == len(result.channel_flits)
+        assert all(s <= f for s, f in zip(totals, result.channel_flits))
+        assert sum(totals) > 0
+
+    def test_utilization_fractions_are_sane(self, collected):
+        sim, result = collected
+        util = result.channel_utilization()
+        assert len(util) == len(sim.channels)
+        assert all(0.0 <= u <= 1.0 for u in util)
+
+    def test_router_blocked_counts_hot_routers(self, collected):
+        sim, result = collected
+        blocked = result.router_blocked_cycles
+        assert len(blocked) == sim.topology.num_nodes
+        assert all(b >= 0 for b in blocked)
+        assert sum(blocked) > 0  # load 1.2 on an 8x8 mesh surely blocks
+
+    def test_collectors_survive_result_round_trip(self, collected):
+        from repro.simulation.metrics import SimulationResult
+
+        _, result = collected
+        rebuilt = SimulationResult.from_dict(result.to_dict())
+        assert rebuilt.latency_histogram == result.latency_histogram
+        assert rebuilt.channel_util_series == result.channel_util_series
+        assert rebuilt.router_blocked_cycles == result.router_blocked_cycles
+        assert rebuilt.channel_series_period == result.channel_series_period
+        assert rebuilt == result
+
+
+class TestProfiledRun:
+    def test_profile_covers_the_pipeline_and_preserves_results(self):
+        topo_spec, algorithm, pattern, overrides, expected = GOLDEN[0]
+        profiler = PhaseProfiler()
+        _, result = _simulate(
+            topo_spec,
+            algorithm,
+            pattern,
+            SimulationConfig(**overrides),
+            profiler=profiler,
+        )
+        assert _fingerprint(result) == expected
+        for phase in ("generate", "inject", "route", "allocate", "advance"):
+            assert profiler.seconds.get(phase, 0.0) > 0.0
+        # Phases run once per cycle; route is per arbitration call.
+        assert profiler.calls["allocate"] == profiler.calls["advance"]
+        assert profiler.total_seconds > 0.0
+        assert "allocate" in profiler.report()
+
+
+class TestSinkIntegration:
+    def test_jsonl_file_round_trips_engine_events(self, tmp_path):
+        config = SimulationConfig(
+            offered_load=0.8, seed=2, warmup_cycles=100, measure_cycles=400
+        )
+        path = tmp_path / "engine.jsonl"
+        memory = ListSink()
+        _simulate("mesh:5x5", "xy", "uniform", config, sink=memory)
+        with JsonlTraceSink(path) as file_sink:
+            _simulate("mesh:5x5", "xy", "uniform", config, sink=file_sink)
+        _, events = read_trace(path)
+        assert list(events) == memory.events
+
+    def test_filtering_sink_in_the_engine(self):
+        inner = ListSink()
+        sink = FilteringSink(inner, kinds=["delivered"])
+        _, result = _simulate(
+            "mesh:5x5",
+            "xy",
+            "uniform",
+            SimulationConfig(
+                offered_load=0.8, seed=2, warmup_cycles=100,
+                measure_cycles=400,
+            ),
+            sink=sink,
+        )
+        assert inner.events
+        assert {event.kind for event in inner.events} == {"delivered"}
+        assert sink.dropped > 0
+        assert len(inner.events) >= result.delivered_packets

@@ -1,0 +1,104 @@
+"""Trace event schema: validation and the exact JSONL round-trip."""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    EVENT_KINDS,
+    TRACE_SCHEMA,
+    TraceEvent,
+    parse_jsonl,
+    parse_jsonl_line,
+)
+
+
+class TestTraceEvent:
+    def test_schema_version_is_one(self):
+        assert TRACE_SCHEMA == 1
+
+    def test_vocabulary_is_fixed(self):
+        assert EVENT_KINDS == (
+            "injected",
+            "header_advance",
+            "channel_allocated",
+            "blocked",
+            "delivered",
+            "dropped",
+            "killed",
+            "fault_applied",
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace event kind"):
+            TraceEvent(kind="teleported", cycle=0)
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            TraceEvent(kind="injected", cycle=-1)
+
+    def test_to_dict_omits_none_fields(self):
+        event = TraceEvent(kind="injected", cycle=7, pid=3, node=12)
+        assert event.to_dict() == {
+            "kind": "injected",
+            "cycle": 7,
+            "pid": 3,
+            "node": 12,
+        }
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown trace event fields"):
+            TraceEvent.from_dict({"kind": "injected", "cycle": 0, "speed": 9})
+
+    def test_json_line_is_deterministic(self):
+        event = TraceEvent(
+            kind="channel_allocated",
+            cycle=42,
+            pid=5,
+            node=9,
+            channel=17,
+            direction="+d0",
+        )
+        line = event.to_json_line()
+        assert line == event.to_json_line()
+        assert json.loads(line) == event.to_dict()
+        assert "\n" not in line and " " not in line
+
+
+class TestRoundTrip:
+    EXAMPLES = [
+        TraceEvent(kind="injected", cycle=0, pid=0, node=0),
+        TraceEvent(kind="header_advance", cycle=3, pid=1, node=8, channel=2),
+        TraceEvent(
+            kind="channel_allocated",
+            cycle=10,
+            pid=2,
+            node=5,
+            channel=11,
+            direction="-d1",
+        ),
+        TraceEvent(kind="blocked", cycle=11, pid=2, node=5),
+        TraceEvent(kind="delivered", cycle=99, pid=2, node=63),
+        TraceEvent(kind="dropped", cycle=4, pid=3, node=1, cause="timeout-stall"),
+        TraceEvent(kind="killed", cycle=4, pid=3, node=1, cause="link-failure"),
+        TraceEvent(
+            kind="fault_applied", cycle=50, node=7, cause="fail:channel"
+        ),
+    ]
+
+    @pytest.mark.parametrize("event", EXAMPLES, ids=lambda e: e.kind)
+    def test_single_event_round_trips_exactly(self, event):
+        assert parse_jsonl_line(event.to_json_line()) == event
+        assert TraceEvent.from_dict(event.to_dict()) == event
+
+    def test_stream_round_trips_exactly(self):
+        lines = [event.to_json_line() for event in self.EXAMPLES]
+        assert list(parse_jsonl(lines)) == self.EXAMPLES
+
+    def test_blank_lines_skipped(self):
+        lines = ["", self.EXAMPLES[0].to_json_line(), "   ", ""]
+        assert list(parse_jsonl(lines)) == [self.EXAMPLES[0]]
+
+    def test_non_object_line_rejected(self):
+        with pytest.raises(ValueError, match="not a JSON object"):
+            parse_jsonl_line("[1,2,3]")

@@ -1,0 +1,55 @@
+"""PhaseProfiler arithmetic and report rendering."""
+
+from repro.observability import PhaseProfiler
+from repro.observability.profiler import ENGINE_PHASES
+
+
+class TestPhaseProfiler:
+    def test_add_accumulates_seconds_and_calls(self):
+        prof = PhaseProfiler()
+        prof.add("advance", 0.25)
+        prof.add("advance", 0.75)
+        assert prof.seconds["advance"] == 1.0
+        assert prof.calls["advance"] == 2
+
+    def test_route_excluded_from_total(self):
+        # route is nested inside allocate: counting both would double
+        # the arbitration phase.
+        prof = PhaseProfiler()
+        prof.add("allocate", 2.0)
+        prof.add("route", 0.5)
+        prof.add("advance", 1.0)
+        assert prof.total_seconds == 3.0
+
+    def test_exclusive_seconds_subtracts_nested_route(self):
+        prof = PhaseProfiler()
+        prof.add("allocate", 2.0)
+        prof.add("route", 0.5)
+        assert prof.exclusive_seconds("allocate") == 1.5
+        assert prof.exclusive_seconds("route") == 0.5
+        assert prof.exclusive_seconds("missing") == 0.0
+
+    def test_exclusive_never_negative(self):
+        prof = PhaseProfiler()
+        prof.add("allocate", 0.1)
+        prof.add("route", 0.5)  # clock skew should clamp, not go negative
+        assert prof.exclusive_seconds("allocate") == 0.0
+
+    def test_to_dict_is_json_ready(self):
+        prof = PhaseProfiler()
+        prof.add("generate", 0.5)
+        prof.add("generate", 0.5)
+        assert prof.to_dict() == {"generate": {"seconds": 1.0, "calls": 2}}
+
+    def test_report_lists_phases_and_total(self):
+        prof = PhaseProfiler()
+        for phase in ENGINE_PHASES:
+            prof.add(phase, 0.01)
+        text = prof.report()
+        for phase in ENGINE_PHASES:
+            assert phase in text
+        assert "within allocate" in text
+        assert text.splitlines()[-1].startswith("total")
+
+    def test_report_handles_empty_profiler(self):
+        assert "total" in PhaseProfiler().report()

@@ -1,0 +1,97 @@
+"""Trace sinks: memory, JSONL files/streams, and kind filtering."""
+
+import io
+import json
+
+from repro.observability import (
+    FilteringSink,
+    JsonlTraceSink,
+    ListSink,
+    TraceEvent,
+    TraceSink,
+    trace_header,
+)
+from repro.observability.sinks import HEADER_KIND
+
+EVENTS = [
+    TraceEvent(kind="injected", cycle=1, pid=0, node=0),
+    TraceEvent(kind="blocked", cycle=2, pid=0, node=0),
+    TraceEvent(kind="delivered", cycle=9, pid=0, node=3),
+]
+
+
+class TestListSink:
+    def test_collects_and_filters_by_kind(self):
+        sink = ListSink()
+        for event in EVENTS:
+            sink.emit(event)
+        assert len(sink) == 3
+        assert sink.by_kind("blocked") == [EVENTS[1]]
+        sink.close()
+        assert sink.closed
+
+    def test_satisfies_the_protocol(self):
+        assert isinstance(ListSink(), TraceSink)
+        assert isinstance(JsonlTraceSink(io.StringIO()), TraceSink)
+
+
+class TestTraceHeader:
+    def test_carries_schema_and_provenance(self):
+        header = trace_header(
+            topology="mesh:8x8", algorithm="west-first", pattern="uniform"
+        )
+        assert header["kind"] == HEADER_KIND
+        assert header["schema"] == 1
+        assert header["topology"] == "mesh:8x8"
+        assert "config_hash" not in header  # None entries omitted
+
+
+class TestJsonlTraceSink:
+    def test_writes_header_first_then_events(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(path, header=trace_header(topology="mesh:4x4"))
+        for event in EVENTS:
+            sink.emit(event)
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 4
+        header = json.loads(lines[0])
+        assert header["kind"] == HEADER_KIND
+        assert header["topology"] == "mesh:4x4"
+        assert [json.loads(line)["kind"] for line in lines[1:]] == [
+            "injected",
+            "blocked",
+            "delivered",
+        ]
+        assert sink.emitted == 3
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlTraceSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTraceSink(path) as sink:
+            sink.emit(EVENTS[0])
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_stream_target_left_open(self):
+        stream = io.StringIO()
+        sink = JsonlTraceSink(stream)
+        sink.emit(EVENTS[0])
+        sink.close()
+        assert not stream.closed  # caller-owned streams are only flushed
+        assert len(stream.getvalue().splitlines()) == 2
+
+
+class TestFilteringSink:
+    def test_forwards_only_named_kinds(self):
+        inner = ListSink()
+        sink = FilteringSink(inner, kinds=["delivered"])
+        for event in EVENTS:
+            sink.emit(event)
+        sink.close()
+        assert [event.kind for event in inner.events] == ["delivered"]
+        assert sink.dropped == 2
+        assert inner.closed

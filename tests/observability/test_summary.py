@@ -1,0 +1,104 @@
+"""Trace file reading (schema checks) and stream summarization."""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    JsonlTraceSink,
+    TraceEvent,
+    read_trace,
+    summarize_trace,
+    trace_header,
+)
+
+
+def _write_trace(path, events, header=None):
+    with JsonlTraceSink(path, header=header) as sink:
+        for event in events:
+            sink.emit(event)
+
+
+EVENTS = [
+    TraceEvent(kind="injected", cycle=5, pid=0, node=1),
+    TraceEvent(kind="blocked", cycle=6, pid=0, node=1),
+    TraceEvent(kind="blocked", cycle=8, pid=1, node=4),
+    TraceEvent(kind="injected", cycle=7, pid=1, node=4),
+    TraceEvent(kind="delivered", cycle=25, pid=0, node=9),
+    TraceEvent(kind="dropped", cycle=30, pid=1, node=4, cause="timeout-stall"),
+]
+
+
+class TestReadTrace:
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_trace(path, EVENTS, header=trace_header(topology="mesh:4x4"))
+        header, events = read_trace(path)
+        assert header["topology"] == "mesh:4x4"
+        assert list(events) == EVENTS
+
+    def test_rejects_headerless_file(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(EVENTS[0].to_json_line() + "\n")
+        with pytest.raises(ValueError, match="not a trace file"):
+            read_trace(path)
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        header = dict(trace_header(), schema=999)
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(ValueError, match="schema 999"):
+            read_trace(path)
+
+    def test_rejects_non_json_first_line(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(ValueError, match="not a trace file"):
+            read_trace(path)
+
+
+class TestSummarizeTrace:
+    def test_counts_and_cycle_span(self):
+        summary = summarize_trace(EVENTS)
+        assert summary.total_events == len(EVENTS)
+        assert summary.counts_by_kind == {
+            "injected": 2,
+            "blocked": 2,
+            "delivered": 1,
+            "dropped": 1,
+        }
+        assert summary.first_cycle == 5
+        assert summary.last_cycle == 30
+
+    def test_transit_pairs_injected_with_delivered(self):
+        summary = summarize_trace(EVENTS)
+        # pid 0: injected at 5, delivered at 25; pid 1 was dropped.
+        assert summary.transit_histogram == {20: 1}
+        assert summary.transit_percentiles["p50"] == 20
+
+    def test_drops_and_blocked_attribution(self):
+        summary = summarize_trace(EVENTS)
+        assert summary.drops_by_cause == {"timeout-stall": 1}
+        assert summary.blocked_by_node == {1: 1, 4: 1}
+        assert summary.top_blocked_nodes(top=1) == [(1, 1)]
+
+    def test_to_dict_and_render(self):
+        summary = summarize_trace(EVENTS)
+        data = summary.to_dict()
+        assert data["counts_by_kind"]["delivered"] == 1
+        assert data["transit_percentiles"]["p100"] == 20
+        text = summary.render()
+        assert "6 events" in text
+        assert "timeout-stall" in text
+        assert "stall-prone" in text
+
+    def test_empty_stream(self):
+        summary = summarize_trace([])
+        assert summary.total_events == 0
+        assert summary.first_cycle is None
+        assert summary.transit_percentiles == {
+            "p50": None,
+            "p90": None,
+            "p99": None,
+            "p100": None,
+        }

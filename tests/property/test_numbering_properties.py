@@ -3,7 +3,7 @@ monotone along random legal walks on random mesh shapes."""
 
 import random
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import (

@@ -1,9 +1,9 @@
 """Property-based tests for topology invariants."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.topology import Direction, Hypercube, KAryNCube, Mesh, Mesh2D
+from repro.topology import Hypercube, KAryNCube, Mesh
 
 
 mesh_dims = st.lists(st.integers(2, 5), min_size=1, max_size=4).map(tuple)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.routing import DimensionOrder, ECube, XY, walk
-from repro.topology import EAST, Hypercube, Mesh, Mesh2D, NORTH, SOUTH, WEST
+from repro.topology import EAST, Hypercube, Mesh, Mesh2D, NORTH
 
 
 class TestXY:

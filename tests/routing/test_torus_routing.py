@@ -11,7 +11,7 @@ from repro.routing import (
     WestFirst,
     walk,
 )
-from repro.topology import Direction, EAST, KAryNCube, Mesh2D, WEST
+from repro.topology import EAST, KAryNCube, Mesh2D, WEST
 
 
 class TestMeshRestriction:

@@ -8,12 +8,11 @@ import pytest
 from repro.core import Turn, TurnModel
 from repro.routing import (
     NegativeFirst,
-    NorthLast,
     TurnRestrictedMinimal,
     WestFirst,
     walk,
 )
-from repro.topology import EAST, Mesh, Mesh2D, NORTH, SOUTH, WEST
+from repro.topology import EAST, Mesh, Mesh2D, NORTH, WEST
 from repro.verification import verify_algorithm
 
 

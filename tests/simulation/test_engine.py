@@ -18,7 +18,7 @@ from repro.simulation.selection import (
     xy_output_selection,
     zigzag_output_selection,
 )
-from repro.topology import Direction, EAST, Mesh2D, NORTH
+from repro.topology import EAST, Mesh2D, NORTH
 from repro.traffic import MeshTransposePattern, UniformPattern
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import TurnModel, west_first_numbering
-from repro.routing import WestFirst, XY, walk
+from repro.routing import XY, walk
 from repro.topology import EAST, Mesh2D
 from repro.viz import (
     render_channel_numbering,
@@ -31,7 +31,7 @@ class TestRenderMeshPaths:
         mesh = Mesh2D(3, 3)
         path = walk(XY(mesh), mesh.node_xy(0, 0), mesh.node_xy(0, 2))
         art = render_mesh_paths(mesh, [path])
-        lines = [l for l in art.splitlines() if l.strip()]
+        lines = [line for line in art.splitlines() if line.strip()]
         # The destination (north) appears before the source (south).
         assert lines[0].startswith("D")
         assert lines[-1].startswith("S")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.topology import Direction, EAST, KAryNCube, WEST
+from repro.topology import EAST, KAryNCube, WEST
 
 
 class TestKAryNCube:

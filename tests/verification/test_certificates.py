@@ -11,7 +11,7 @@ from repro.routing import (
     path_channels,
     walk,
 )
-from repro.topology import EAST, Mesh2D, NORTH
+from repro.topology import EAST, Mesh2D
 from repro.verification import (
     DiGraph,
     generate_certificate,
