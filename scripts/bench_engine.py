@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Benchmark the wormhole engine on the canonical operating points.
+
+The measurement core lives in ``repro.analysis.bench`` (also exposed as
+``repro bench``); this script is the CI/automation entry point:
+
+    # full trajectory, written to BENCH_engine.json
+    python scripts/bench_engine.py --out BENCH_engine.json --repeats 3
+
+    # fold a pre-change report in as the per-point baseline
+    python scripts/bench_engine.py --baseline bench_before.json \
+        --out BENCH_engine.json
+
+    # CI regression gate: quick subset vs the committed trajectory
+    python scripts/bench_engine.py --quick --out BENCH_quick.json \
+        --check-against BENCH_engine.json
+
+``--check-against`` fails (exit 1) when a point's fingerprint changed —
+the engine no longer computes the same simulation — or when cycles/s
+fell more than ``--fail-threshold`` (default 30%) below the committed
+number.  See docs/PERFORMANCE.md.
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.analysis.bench import (  # noqa: E402
+    bench_points,
+    compare_reports,
+    load_report,
+    run_bench,
+    write_report,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run only the quick CI subset of points",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="timed repeats per point; the best wall time is kept (default 2)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the JSON report here",
+    )
+    parser.add_argument(
+        "--label", default="", help="free-text label stored in the report",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="prior report whose numbers are folded in as per-point baselines",
+    )
+    parser.add_argument(
+        "--check-against", default=None,
+        help="committed report to gate against (fingerprints + cycles/s)",
+    )
+    parser.add_argument(
+        "--fail-threshold", type=float, default=0.30,
+        help="max allowed cycles/s regression vs --check-against (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_report(args.baseline) if args.baseline else None
+    points = bench_points(quick=args.quick)
+    print(
+        f"benchmarking {len(points)} point(s), "
+        f"best of {args.repeats} repeat(s) each ...",
+        flush=True,
+    )
+    report = run_bench(
+        points,
+        repeats=args.repeats,
+        baseline=baseline,
+        label=args.label,
+        progress=lambda m: print(
+            f"  {m.point.id:26s} {m.cycles_per_s:12.0f} cycles/s "
+            f"({m.wall_s:.3f}s)",
+            flush=True,
+        ),
+    )
+    print()
+    print(report.render())
+    if args.out:
+        write_report(report, args.out)
+        print(f"report written to {args.out}")
+    if args.check_against:
+        committed = load_report(args.check_against)
+        problems = compare_reports(
+            report, committed, fail_threshold=args.fail_threshold
+        )
+        if problems:
+            print()
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.check_against}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

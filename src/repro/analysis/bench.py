@@ -1,0 +1,390 @@
+"""Engine benchmark harness: the measured perf trajectory of the repo.
+
+Runs a canonical set of operating points through the wormhole engine,
+timing the wall clock and reporting two throughput figures per point:
+
+* **cycles/s** — simulated cycles per wall-clock second, the headline
+  hot-path metric (how fast the interpreter grinds through simulator
+  cycles at this operating point);
+* **flit-hops/s** — an estimate of flit-channel traversals simulated per
+  wall-clock second (``delivered_flits * avg_hops / wall``), the "useful
+  physics" rate.  It is an estimate because per-packet ``length x hops``
+  products are not tracked individually; it is computed from the same
+  deterministic result either way, so it is comparable run to run.
+
+Every point runs with a fixed seed, so alongside the timing each point
+records the run's **fingerprint** — the nine counters the golden
+bit-identity tests pin (see ``tests/faults/test_fault_injection.py``).
+Comparing a fresh report against a committed one therefore checks two
+things at once: that the engine did not get slower, and that it still
+computes *exactly* the same simulation (fingerprints are
+machine-independent; cycles/s are not).
+
+The canonical points cover the paper's fabrics (8x8 and 16x16 meshes,
+the binary 8-cube) below and near saturation, plus the 16x16
+near-saturation point with observability collectors on and with a
+fault plan + watchdog + retries active — the operating regimes the
+event-driven engine optimisations (routing-table precomputation,
+arrival calendar, channel-free wakeups) target.
+
+Entry points: ``repro bench`` (CLI) and ``scripts/bench_engine.py``
+(CI), both thin wrappers over :func:`run_bench` /
+:func:`compare_reports`.  The committed trajectory lives in
+``BENCH_engine.json`` (see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..faults.plan import FaultPlan
+from ..routing.registry import make_algorithm
+from ..simulation.config import SimulationConfig
+from ..simulation.engine import WormholeSimulator
+from .runner import make_pattern, parse_topology_spec
+
+BENCH_SCHEMA = 1
+
+FINGERPRINT_FIELDS = (
+    "generated_packets", "delivered_packets", "delivered_flits",
+    "total_latency_cycles", "total_net_latency_cycles", "total_hops",
+    "total_misroutes", "max_grant_wait_cycles", "inflight_at_end",
+)
+"""The nine counters the golden bit-identity tests pin; recorded per
+point so perf reports double as cross-machine equivalence checks."""
+
+
+@dataclass(frozen=True)
+class BenchPoint:
+    """One benchmarked operating point (fully deterministic)."""
+
+    id: str
+    topology: str
+    algorithm: str
+    pattern: str
+    offered_load: float
+    warmup_cycles: int
+    measure_cycles: int
+    seed: int = 0
+    quick: bool = False
+    """Included in the CI ``--quick`` subset."""
+
+    observability: bool = False
+    """Switch on all three metrics collectors for this point."""
+
+    fault_links: int = 0
+    """Fail this many links (seeded) mid-run, with the per-packet
+    watchdog and retries active — exercises the fault-hook hot path."""
+
+    drain_cycles: int = 0
+
+    def config(self) -> SimulationConfig:
+        kwargs: Dict[str, object] = dict(
+            offered_load=self.offered_load,
+            warmup_cycles=self.warmup_cycles,
+            measure_cycles=self.measure_cycles,
+            seed=self.seed,
+            drain_cycles=self.drain_cycles,
+        )
+        if self.fault_links:
+            topology = parse_topology_spec(self.topology)
+            kwargs["fault_plan"] = FaultPlan.random_links(
+                topology, self.fault_links, seed=self.seed + 1,
+                start=self.warmup_cycles // 2,
+            )
+            kwargs["packet_timeout"] = 800
+            kwargs["max_retries"] = 2
+        config = SimulationConfig(**kwargs)  # type: ignore[arg-type]
+        if self.observability:
+            config = config.with_observability()
+        return config
+
+    def spec_dict(self) -> Dict[str, object]:
+        return {
+            "topology": self.topology,
+            "algorithm": self.algorithm,
+            "pattern": self.pattern,
+            "offered_load": self.offered_load,
+            "warmup_cycles": self.warmup_cycles,
+            "measure_cycles": self.measure_cycles,
+            "seed": self.seed,
+            "observability": self.observability,
+            "fault_links": self.fault_links,
+            "drain_cycles": self.drain_cycles,
+        }
+
+
+# The canonical trajectory points.  Ids are stable across PRs: reports
+# are compared point-id by point-id, so renaming one orphans its
+# history.  Loads: the "low" points sit comfortably inside the
+# sustainable region; the "sat" points sit at/above saturation, where
+# most headers are blocked and the arbitration hot path dominates.
+CANONICAL_POINTS: Tuple[BenchPoint, ...] = (
+    BenchPoint(
+        id="mesh8-uniform-low", topology="mesh:8x8", algorithm="west-first",
+        pattern="uniform", offered_load=0.6, warmup_cycles=500,
+        measure_cycles=2_500, seed=3, quick=True,
+    ),
+    BenchPoint(
+        id="mesh8-uniform-sat", topology="mesh:8x8", algorithm="west-first",
+        pattern="uniform", offered_load=1.5, warmup_cycles=500,
+        measure_cycles=2_500, seed=3, quick=True,
+    ),
+    BenchPoint(
+        id="mesh16-uniform-low", topology="mesh:16x16",
+        algorithm="west-first", pattern="uniform", offered_load=0.5,
+        warmup_cycles=1_000, measure_cycles=4_000, seed=7,
+    ),
+    BenchPoint(
+        id="mesh16-uniform-sat", topology="mesh:16x16",
+        algorithm="west-first", pattern="uniform", offered_load=2.0,
+        warmup_cycles=1_000, measure_cycles=4_000, seed=7,
+    ),
+    BenchPoint(
+        id="mesh16-sat-quick", topology="mesh:16x16", algorithm="west-first",
+        pattern="uniform", offered_load=2.0, warmup_cycles=300,
+        measure_cycles=1_200, seed=7, quick=True,
+    ),
+    BenchPoint(
+        id="cube8-uniform-low", topology="cube:8", algorithm="p-cube",
+        pattern="uniform", offered_load=1.0, warmup_cycles=400,
+        measure_cycles=1_600, seed=5,
+    ),
+    BenchPoint(
+        id="cube8-uniform-sat", topology="cube:8", algorithm="p-cube",
+        pattern="uniform", offered_load=3.0, warmup_cycles=400,
+        measure_cycles=1_600, seed=5,
+    ),
+    BenchPoint(
+        id="mesh16-sat-observability", topology="mesh:16x16",
+        algorithm="west-first", pattern="uniform", offered_load=2.0,
+        warmup_cycles=500, measure_cycles=2_000, seed=7,
+        observability=True,
+    ),
+    BenchPoint(
+        id="mesh16-sat-faults", topology="mesh:16x16",
+        algorithm="west-first", pattern="uniform", offered_load=2.0,
+        warmup_cycles=500, measure_cycles=2_000, seed=7,
+        fault_links=4, drain_cycles=500,
+    ),
+)
+
+
+def bench_points(quick: bool = False) -> List[BenchPoint]:
+    """The canonical point list (the ``--quick`` CI subset when asked)."""
+    if quick:
+        return [p for p in CANONICAL_POINTS if p.quick]
+    return list(CANONICAL_POINTS)
+
+
+@dataclass
+class PointMeasurement:
+    """Timing + equivalence record of one benchmarked point."""
+
+    point: BenchPoint
+    wall_s: float
+    simulated_cycles: int
+    fingerprint: Tuple[int, ...]
+    delivered_flits: int
+    avg_hops: Optional[float]
+    repeats: int = 1
+    baseline: Optional[Dict[str, object]] = None
+
+    @property
+    def cycles_per_s(self) -> float:
+        return self.simulated_cycles / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def flit_hops_per_s(self) -> float:
+        if self.wall_s <= 0 or self.avg_hops is None:
+            return 0.0
+        return self.delivered_flits * self.avg_hops / self.wall_s
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "spec": self.point.spec_dict(),
+            "wall_s": round(self.wall_s, 6),
+            "repeats": self.repeats,
+            "simulated_cycles": self.simulated_cycles,
+            "cycles_per_s": round(self.cycles_per_s, 1),
+            "flit_hops_per_s": round(self.flit_hops_per_s, 1),
+            "fingerprint": list(self.fingerprint),
+        }
+        if self.baseline is not None:
+            out["baseline"] = self.baseline
+            base_rate = self.baseline.get("cycles_per_s")
+            if isinstance(base_rate, (int, float)) and base_rate > 0:
+                out["speedup"] = round(self.cycles_per_s / base_rate, 2)
+        return out
+
+
+def run_point(point: BenchPoint, repeats: int = 1) -> PointMeasurement:
+    """Run one point ``repeats`` times; keep the best (minimum) wall.
+
+    Every repeat is the same deterministic simulation — the minimum wall
+    time is the least-noisy estimate of the engine's true cost.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    config = point.config()
+    best_wall = float("inf")
+    result = None
+    for _ in range(repeats):
+        topology = parse_topology_spec(point.topology)
+        sim = WormholeSimulator(
+            make_algorithm(point.algorithm, topology),
+            make_pattern(point.pattern, topology),
+            config,
+        )
+        started = time.perf_counter()
+        result = sim.run()
+        wall = time.perf_counter() - started
+        if wall < best_wall:
+            best_wall = wall
+    assert result is not None
+    simulated = (
+        result.deadlock_cycle + 1
+        if result.deadlock and result.deadlock_cycle is not None
+        else config.total_cycles
+    )
+    return PointMeasurement(
+        point=point,
+        wall_s=best_wall,
+        simulated_cycles=simulated,
+        fingerprint=tuple(
+            getattr(result, name) for name in FINGERPRINT_FIELDS
+        ),
+        delivered_flits=result.delivered_flits,
+        avg_hops=result.avg_hops,
+        repeats=repeats,
+    )
+
+
+@dataclass
+class BenchReport:
+    """A full benchmark run, serializable to ``BENCH_engine.json``."""
+
+    measurements: List[PointMeasurement] = field(default_factory=list)
+    label: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": BENCH_SCHEMA,
+            "label": self.label,
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "points": {
+                m.point.id: m.to_dict() for m in self.measurements
+            },
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"{'point':26s} {'cycles/s':>12s} {'flit-hops/s':>13s} "
+            f"{'wall':>8s}  speedup"
+        ]
+        for m in self.measurements:
+            speedup = ""
+            if m.baseline is not None:
+                base_rate = m.baseline.get("cycles_per_s")
+                if isinstance(base_rate, (int, float)) and base_rate > 0:
+                    speedup = f"{m.cycles_per_s / base_rate:7.2f}x"
+            lines.append(
+                f"{m.point.id:26s} {m.cycles_per_s:12.0f} "
+                f"{m.flit_hops_per_s:13.0f} {m.wall_s:7.3f}s {speedup}"
+            )
+        return "\n".join(lines)
+
+
+def run_bench(
+    points: Sequence[BenchPoint],
+    repeats: int = 1,
+    baseline: Optional[Dict[str, object]] = None,
+    label: str = "",
+    progress=None,
+) -> BenchReport:
+    """Measure every point; fold per-point baseline numbers in when a
+    prior report dict (see :func:`load_report`) is supplied."""
+    report = BenchReport(label=label)
+    base_points = (baseline or {}).get("points", {})
+    for point in points:
+        measurement = run_point(point, repeats=repeats)
+        prior = base_points.get(point.id) if isinstance(base_points, dict) else None
+        if isinstance(prior, dict):
+            measurement.baseline = {
+                "cycles_per_s": prior.get("cycles_per_s"),
+                "flit_hops_per_s": prior.get("flit_hops_per_s"),
+                "wall_s": prior.get("wall_s"),
+                "label": (baseline or {}).get("label", ""),
+            }
+        report.measurements.append(measurement)
+        if progress is not None:
+            progress(measurement)
+    return report
+
+
+def load_report(path: str) -> Dict[str, object]:
+    """Read a previously-written report (``BENCH_engine.json``)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or "points" not in data:
+        raise ValueError(f"{path} is not a bench report (no 'points' key)")
+    return data
+
+
+def write_report(report: BenchReport, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def compare_reports(
+    current: BenchReport,
+    committed: Dict[str, object],
+    fail_threshold: float = 0.30,
+) -> List[str]:
+    """CI regression gate: problems comparing a fresh run against the
+    committed trajectory.
+
+    Two checks per shared point id:
+
+    * **fingerprint** — must match exactly (machine-independent; a
+      mismatch means the engine changed the simulation, not just its
+      speed);
+    * **cycles/s** — must not fall more than ``fail_threshold`` below
+      the committed number (machine-dependent; the threshold absorbs
+      runner variance).
+
+    Returns a list of human-readable problems (empty = pass).
+    """
+    problems: List[str] = []
+    committed_points = committed.get("points", {})
+    if not isinstance(committed_points, dict):
+        return [f"committed report has malformed 'points': {committed_points!r}"]
+    for m in current.measurements:
+        prior = committed_points.get(m.point.id)
+        if not isinstance(prior, dict):
+            continue  # new point: no history yet
+        expected = prior.get("fingerprint")
+        if expected is not None and list(m.fingerprint) != list(expected):
+            problems.append(
+                f"{m.point.id}: fingerprint changed "
+                f"{list(expected)} -> {list(m.fingerprint)} "
+                f"(the engine no longer computes the same simulation)"
+            )
+        base_rate = prior.get("cycles_per_s")
+        if isinstance(base_rate, (int, float)) and base_rate > 0:
+            floor = (1.0 - fail_threshold) * base_rate
+            if m.cycles_per_s < floor:
+                problems.append(
+                    f"{m.point.id}: cycles/s regressed "
+                    f"{base_rate:.0f} -> {m.cycles_per_s:.0f} "
+                    f"(> {fail_threshold:.0%} below the committed baseline)"
+                )
+    return problems

@@ -14,7 +14,10 @@ Commands:
 * ``trace`` — run one operating point with flit-level observability on:
   JSONL event trace, text/JSON summary (latency percentiles, stall-prone
   routers, hottest channels), and per-direction channel-utilization
-  heatmaps (see docs/OBSERVABILITY.md).
+  heatmaps (see docs/OBSERVABILITY.md);
+* ``bench`` — time the engine on the canonical operating points and
+  (optionally) gate against the committed perf trajectory
+  ``BENCH_engine.json`` (see docs/PERFORMANCE.md).
 
 ``simulate`` and ``trace`` accept ``--profile`` to time the engine's hot
 phases (routing decision, switch allocation, flit advance).
@@ -37,6 +40,13 @@ import sys
 from typing import List, Optional
 
 from .analysis import FAST, FIGURE_HARNESSES, FULL, format_figure
+from .analysis.bench import (
+    bench_points,
+    compare_reports,
+    load_report,
+    run_bench,
+    write_report,
+)
 from .analysis.faultsweep import (
     DEFAULT_ALGORITHMS,
     campaign_config,
@@ -428,6 +438,44 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    baseline = load_report(args.baseline) if args.baseline else None
+    points = bench_points(quick=args.quick)
+    print(
+        f"benchmarking {len(points)} point(s), "
+        f"best of {args.repeats} repeat(s) each ...",
+        flush=True,
+    )
+    report = run_bench(
+        points,
+        repeats=args.repeats,
+        baseline=baseline,
+        label=args.label,
+        progress=lambda m: print(
+            f"  {m.point.id:26s} {m.cycles_per_s:12.0f} cycles/s "
+            f"({m.wall_s:.3f}s)",
+            flush=True,
+        ),
+    )
+    print()
+    print(report.render())
+    if args.out:
+        write_report(report, args.out)
+        print(f"report written to {args.out}")
+    if args.check_against:
+        committed = load_report(args.check_against)
+        problems = compare_reports(
+            report, committed, fail_threshold=args.fail_threshold
+        )
+        if problems:
+            print()
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.check_against}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     from . import __version__
 
@@ -598,6 +646,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_runner_flags(p)
 
+    p = sub.add_parser(
+        "bench",
+        help="engine benchmark on the canonical operating points "
+        "(docs/PERFORMANCE.md)",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="run only the quick CI subset of points",
+    )
+    p.add_argument(
+        "--repeats", type=_positive_int, default=2,
+        help="timed repeats per point; the best wall is kept (default 2)",
+    )
+    p.add_argument("--out", default=None, help="write the JSON report here")
+    p.add_argument(
+        "--label", default="", help="free-text label stored in the report"
+    )
+    p.add_argument(
+        "--baseline", default=None,
+        help="prior report folded in as per-point baselines (speedup column)",
+    )
+    p.add_argument(
+        "--check-against", default=None,
+        help="committed report to gate against (fingerprints + cycles/s)",
+    )
+    p.add_argument(
+        "--fail-threshold", type=float, default=0.30,
+        help="max allowed cycles/s regression vs --check-against "
+        "(default 0.30)",
+    )
+
     return parser
 
 
@@ -678,6 +757,7 @@ COMMANDS = {
     "figure": cmd_figure,
     "faults": cmd_faults,
     "trace": cmd_trace,
+    "bench": cmd_bench,
 }
 
 

@@ -11,8 +11,9 @@ near-zero bookkeeping so a profiled run stays representative:
 * ``allocate`` — switch allocation: arbitration of contending headers
   and channel grants (*includes* ``route``; the report subtracts);
 * ``advance`` — flit movement: every worm shifting one buffer forward;
-* ``faults``/``watchdog`` — fault-plan application and per-packet
-  timeout scans, when those subsystems are active.
+* ``faults``/``retries``/``watchdog`` — fault-plan application, retry
+  requeueing, and per-packet timeout scans, when those subsystems are
+  active.
 
 The profiler is engine-agnostic: ``add(phase, seconds)`` accumulates,
 ``report()`` renders.  It attaches only when the caller passes one to
@@ -25,12 +26,13 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 ENGINE_PHASES = (
+    "faults",
+    "retries",
     "generate",
     "inject",
     "route",
     "allocate",
     "advance",
-    "faults",
     "watchdog",
 )
 """Phase names the wormhole engine reports, in pipeline order."""

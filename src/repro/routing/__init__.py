@@ -27,6 +27,7 @@ from .registry import (
     mesh_algorithms,
     torus_algorithms,
 )
+from .table import RoutingTable
 from .torus import ClassifiedNegativeFirst, FirstHopWraparound, MeshRestriction
 from .turn_restricted import TurnRestrictedMinimal
 from .virtual import DatelineDimensionOrder, EscapeVCAdaptive
@@ -47,6 +48,7 @@ __all__ = [
     "PCube",
     "RoutingAlgorithm",
     "RoutingDeadEnd",
+    "RoutingTable",
     "TurnRestrictedMinimal",
     "TwoPhaseRouting",
     "WestFirst",

@@ -1,0 +1,174 @@
+"""Routing-table precomputation: memoised candidate sets per network.
+
+A routing decision in this codebase is a pure function of ``(current
+node, destination, arrival direction[, arrival virtual channel])`` — the
+turn-model algorithms are stateless by construction.  The cycle-driven
+simulator nevertheless re-derived the candidate list from scratch every
+time a header asked, dominating the arbitration hot path on large
+fabrics.  :class:`RoutingTable` memoises the four candidate queries of a
+:class:`~repro.routing.base.RoutingAlgorithm` into flat tuples, built
+lazily on first use — exactly what a hardware router's routing table
+does, computed once per (node, destination) instead of once per cycle.
+
+Fault awareness composes on top: wrap the algorithm in
+:class:`~repro.faults.routing.FaultAwareRouting` *first* and build the
+table over the wrapper.  The table then caches the fault-masked answers,
+and the owner must call :meth:`invalidate_node` for every node whose
+answers a fault event may have changed (the source router of a failed or
+healed channel; a failed or healed router and its in-neighbours).
+:meth:`affected_nodes` computes that set.  Entries elsewhere stay warm —
+a single link failure invalidates one node's rows, not the network's.
+
+The memo returns the exact tuples the wrapped algorithm produced (order
+preserved), so a table-backed simulation is bit-identical to a
+table-free one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from ..topology.base import Direction, Topology
+from .base import RoutingAlgorithm
+
+_MISS = object()  # sentinel: empty tuples are valid cached values
+
+
+class RoutingTable:
+    """Lazy per-network memo of an algorithm's candidate queries.
+
+    One table serves one ``(algorithm, topology)`` pair — the simulator
+    builds one per run.  All four query methods mirror the
+    :class:`~repro.routing.base.RoutingAlgorithm` signatures but return
+    tuples (safe to alias, never mutated).
+    """
+
+    __slots__ = ("algorithm", "_nodes", "_in_neighbors")
+
+    def __init__(self, algorithm: RoutingAlgorithm) -> None:
+        self.algorithm = algorithm
+        # node -> key -> tuple; keys carry a kind tag so the four query
+        # families share one per-node dict (one hash hop to invalidate).
+        self._nodes: Dict[int, Dict[tuple, tuple]] = {}
+        self._in_neighbors: Optional[Dict[int, Set[int]]] = None
+
+    # -- queries (memoised) --------------------------------------------------
+
+    def candidates(
+        self,
+        current: int,
+        dest: int,
+        in_direction: Optional[Direction] = None,
+    ) -> Tuple[Direction, ...]:
+        per_node = self._nodes.get(current)
+        if per_node is None:
+            per_node = self._nodes[current] = {}
+        key = ("c", dest, in_direction)
+        out = per_node.get(key, _MISS)
+        if out is _MISS:
+            out = per_node[key] = tuple(
+                self.algorithm.candidates(current, dest, in_direction)
+            )
+        return out  # type: ignore[return-value]
+
+    def escape_candidates(
+        self,
+        current: int,
+        dest: int,
+        in_direction: Optional[Direction] = None,
+    ) -> Tuple[Direction, ...]:
+        per_node = self._nodes.get(current)
+        if per_node is None:
+            per_node = self._nodes[current] = {}
+        key = ("e", dest, in_direction)
+        out = per_node.get(key, _MISS)
+        if out is _MISS:
+            out = per_node[key] = tuple(
+                self.algorithm.escape_candidates(current, dest, in_direction)
+            )
+        return out  # type: ignore[return-value]
+
+    def vc_candidates(
+        self,
+        current: int,
+        dest: int,
+        in_direction: Optional[Direction],
+        in_vc: Optional[int],
+        num_vc: int,
+    ) -> Tuple[Tuple[Direction, int], ...]:
+        per_node = self._nodes.get(current)
+        if per_node is None:
+            per_node = self._nodes[current] = {}
+        key = ("v", dest, in_direction, in_vc, num_vc)
+        out = per_node.get(key, _MISS)
+        if out is _MISS:
+            out = per_node[key] = tuple(
+                self.algorithm.vc_candidates(
+                    current, dest, in_direction, in_vc, num_vc
+                )
+            )
+        return out  # type: ignore[return-value]
+
+    def vc_escape_candidates(
+        self,
+        current: int,
+        dest: int,
+        in_direction: Optional[Direction],
+        in_vc: Optional[int],
+        num_vc: int,
+    ) -> Tuple[Tuple[Direction, int], ...]:
+        per_node = self._nodes.get(current)
+        if per_node is None:
+            per_node = self._nodes[current] = {}
+        key = ("w", dest, in_direction, in_vc, num_vc)
+        out = per_node.get(key, _MISS)
+        if out is _MISS:
+            out = per_node[key] = tuple(
+                self.algorithm.vc_escape_candidates(
+                    current, dest, in_direction, in_vc, num_vc
+                )
+            )
+        return out  # type: ignore[return-value]
+
+    # -- invalidation (fault events) -----------------------------------------
+
+    def invalidate_node(self, node: int) -> None:
+        """Drop every cached entry keyed by ``node`` (its answers may
+        have changed — a fault appeared or healed on touching hardware)."""
+        self._nodes.pop(node, None)
+
+    def clear(self) -> None:
+        self._nodes.clear()
+
+    def affected_nodes(
+        self, topology: Topology, node: int, channel_only: bool
+    ) -> Set[int]:
+        """Nodes whose cached answers a fault event at ``node`` touches.
+
+        A channel event at ``(node, direction)`` only changes answers
+        computed *at* ``node`` (the fault mask tests the outgoing
+        channel).  A router event additionally kills every channel
+        *into* the router, changing the answers of its in-neighbours.
+        """
+        if channel_only:
+            return {node}
+        neighbors = self._in_neighbors
+        if neighbors is None:
+            neighbors = {}
+            for channel in topology.channels():
+                neighbors.setdefault(channel.dst, set()).add(channel.src)
+            self._in_neighbors = neighbors
+        return {node} | neighbors.get(node, set())
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def num_entries(self) -> int:
+        """Cached candidate tuples currently held (for tests/diagnostics)."""
+        return sum(len(per_node) for per_node in self._nodes.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"RoutingTable({self.algorithm!r}, {self.num_entries} entries "
+            f"over {len(self._nodes)} nodes)"
+        )

@@ -15,6 +15,32 @@ One simulator cycle is the transmission time of one flit on a channel
    cycle; ejection consumes one flit per cycle at the destination; tail
    flits release channels as they drain.
 
+**The event-driven hot path** (docs/PERFORMANCE.md): the engine is
+semantically a per-cycle scan of every source and every waiting header,
+but it executes three structural optimisations that skip the scans whose
+outcome is already known — each one bit-identical to the naive scan
+(pass ``reference=True`` to run the scan-based code paths; the
+cross-equivalence suite compares the two, and the golden-fingerprint
+tests pin the optimised engine to the numbers captured before any of
+this existed):
+
+* **routing-table precomputation** — candidate channels are a pure
+  function of ``(node, destination, arrival direction[, vc])``; a
+  :class:`~repro.routing.table.RoutingTable` plus an engine-side memo of
+  ``(direction, runtime channel id)`` pairs turns the per-cycle routing
+  derivation into a dict hit.  Fault events invalidate exactly the
+  entries touching the dead (or healed) hardware;
+* **arrival calendar** — sources sit in a heap keyed on their next
+  arrival time, so a cycle in which no source fires costs one peek
+  instead of a full scan; due sources are drained in source-list order,
+  preserving the exact RNG draw sequence of the scan;
+* **channel-free wakeup sets** — a header whose candidate set is fully
+  busy is *parked*: it is skipped by arbitration until one of the
+  channels it is watching frees (tail drain, kill), its ejection port
+  frees, or a fault event fires (which wakes everyone).  Parked headers
+  stay in ``waiting`` — watchdogs, deadlock detection, and the
+  blocked-cycle collectors see them exactly as before.
+
 Worms whose scan produced no movement are parked on a dormant list (their
 buffers are private, so nothing can change until an arbitration grant
 wakes them) — this keeps saturated-network cycles cheap.
@@ -52,10 +78,11 @@ golden-fingerprint tests pin this down bit-for-bit).
 
 from __future__ import annotations
 
+import heapq
 import random
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from ..faults.plan import CHANNEL_FAULT, FAIL
 from ..faults.routing import FaultAwareRouting
@@ -73,6 +100,7 @@ from ..observability.events import (
     TraceEvent,
 )
 from ..routing.base import RoutingAlgorithm
+from ..routing.table import RoutingTable
 from ..topology.base import Topology
 from .config import SimulationConfig
 from .metrics import SimulationResult
@@ -81,7 +109,14 @@ from .selection import get_input_policy, get_output_policy
 
 
 class WormholeSimulator:
-    """Simulates one (algorithm, traffic pattern, load) operating point."""
+    """Simulates one (algorithm, traffic pattern, load) operating point.
+
+    ``reference=True`` selects the scan-based generation and routing
+    code paths (no arrival calendar, no routing-table memo, no wakeup
+    parking).  It exists for the cross-equivalence test suite — the
+    optimised default must produce bit-identical results — and for
+    debugging suspected optimisation bugs; it is several times slower.
+    """
 
     def __init__(
         self,
@@ -90,6 +125,7 @@ class WormholeSimulator:
         config: SimulationConfig,
         sink=None,
         profiler=None,
+        reference: bool = False,
     ) -> None:
         self.algorithm = algorithm
         self.pattern = pattern
@@ -120,11 +156,19 @@ class WormholeSimulator:
             deque() for _ in range(self.topology.num_nodes)
         ]
         self.sources = list(pattern.active_sources(self.topology))
+        # The arrival calendar: a heap of (next arrival time, source
+        # index) so a cycle with no due source costs one peek.  The
+        # ``next_arrival`` dict mirrors the heap for introspection and
+        # for the reference (scan-based) generator.
         self.next_arrival: Dict[int, float] = {}
+        self._arrival_heap: List[Tuple[float, int]] = []
         rate = config.messages_per_cycle
         if rate > 0:
-            for node in self.sources:
-                self.next_arrival[node] = self.rng.expovariate(rate)
+            for index, node in enumerate(self.sources):
+                when = self.rng.expovariate(rate)
+                self.next_arrival[node] = when
+                self._arrival_heap.append((when, index))
+            heapq.heapify(self._arrival_heap)
 
         # Insertion-ordered (dicts) so runs are exactly reproducible even
         # under randomised selection policies.
@@ -135,6 +179,7 @@ class WormholeSimulator:
 
         self.cycle = 0
         self.last_progress = 0
+        self._last_cycle = 0  # last cycle whose bookkeeping ran
         self._link_blocked = False
         self._next_pid = 0
         self._backlog = 0  # queued packets network-wide
@@ -153,6 +198,28 @@ class WormholeSimulator:
             self._fault_schedule = config.fault_plan.schedule()
             self.algorithm = FaultAwareRouting(algorithm, self.fault_state)
         self._retry_at: Dict[int, List[Packet]] = {}  # cycle -> retries due
+
+        # Routing-table precomputation: the table memoises the (possibly
+        # fault-masked) algorithm's candidate tuples; the pair cache
+        # layers the dense runtime channel ids on top.  Fault events
+        # invalidate exactly the touched nodes in both.
+        self.routing_table = RoutingTable(self.algorithm)
+        self._pair_cache: Dict[int, Dict[tuple, tuple]] = {}
+
+        # Channel-free wakeup sets: parked headers (still in ``waiting``)
+        # skipped by arbitration until a watched channel or ejection port
+        # frees, or a fault event wakes everyone.
+        self._parked: Set[Packet] = set()
+        self._channel_watchers: Dict[int, Set[Packet]] = {}
+        self._eject_watchers: Dict[int, Set[Packet]] = {}
+        self._wakeups = not reference
+        self._reference = reference
+        if reference:
+            # Scan-based code paths, kept for the equivalence suite.
+            self._generate = self._generate_reference  # type: ignore[method-assign]
+            self._candidate_channels = (  # type: ignore[method-assign]
+                self._candidate_channels_reference
+            )
 
         # Observability: a trace sink, streaming metrics collectors, and
         # a phase profiler — each held as None when disabled so every
@@ -205,36 +272,62 @@ class WormholeSimulator:
 
     def run(self) -> SimulationResult:
         """Simulate warmup + measurement and return the measurements."""
-        config = self.config
-        total = config.total_cycles
+        total = self.config.total_cycles
         for cycle in range(total):
             self.cycle = cycle
             self._cycle_body(cycle)
-            if (
-                cycle >= config.warmup_cycles
-                and (cycle - config.warmup_cycles) % config.queue_sample_period == 0
-            ):
-                self.result.backlog_samples.append(self._backlog)
-            if cycle - self.last_progress > config.deadlock_threshold and (
-                self.active or self.waiting
-            ):
-                self.result.deadlock = True
-                self.result.deadlock_cycle = cycle
+            if self._after_cycle(cycle):
                 break
-        self.result.inflight_at_end = len(self.active)
-        self.result.channel_flits = self.channel_load
-        if self._collectors is not None:
-            self._collectors.finish(self.result)
-        for packet in self.waiting:  # headers still stalled at the end
-            age = self.cycle - packet.header_wait_since
-            if age > self.result.max_stall_age_cycles:
-                self.result.max_stall_age_cycles = age
-        return self.result
+        return self.finalize()
 
     def step(self) -> None:
-        """Advance a single cycle (for tests and interactive inspection)."""
-        self._cycle_body(self.cycle)
-        self.cycle += 1
+        """Advance a single cycle (for tests and interactive inspection).
+
+        Runs the same per-cycle bookkeeping :meth:`run` performs —
+        backlog sampling and the global deadlock watchdog — so stepping
+        N cycles leaves the simulator in exactly the state running N
+        cycles would (call :meth:`finalize` to fold end-of-run state
+        into the result)."""
+        cycle = self.cycle
+        self._cycle_body(cycle)
+        self._after_cycle(cycle)
+        self.cycle = cycle + 1
+
+    def finalize(self) -> SimulationResult:
+        """Fold end-of-run state into the result and return it.
+
+        :meth:`run` calls this automatically; drivers using
+        :meth:`step` call it once after the last step.  Call it once —
+        it folds collector state and end-of-run gauges."""
+        result = self.result
+        end_cycle = self._last_cycle
+        result.inflight_at_end = len(self.active)
+        result.channel_flits = self.channel_load
+        if self._collectors is not None:
+            self._collectors.finish(result)
+        for packet in self.waiting:  # headers still stalled at the end
+            age = end_cycle - packet.header_wait_since
+            if age > result.max_stall_age_cycles:
+                result.max_stall_age_cycles = age
+        return result
+
+    def _after_cycle(self, cycle: int) -> bool:
+        """Shared per-cycle bookkeeping: sample the backlog, trip the
+        global deadlock watchdog.  True when the run should abort."""
+        config = self.config
+        self._last_cycle = cycle
+        if (
+            cycle >= config.warmup_cycles
+            and (cycle - config.warmup_cycles) % config.queue_sample_period == 0
+        ):
+            self.result.backlog_samples.append(self._backlog)
+        if cycle - self.last_progress > config.deadlock_threshold and (
+            self.active or self.waiting
+        ):
+            self.result.deadlock = True
+            self.result.deadlock_cycle = cycle
+            return True
+        return False
 
     def _cycle_body(self, cycle: int) -> None:
         """One simulator cycle: faults, retries, then the three stages."""
@@ -271,8 +364,10 @@ class WormholeSimulator:
             self._apply_faults(cycle)
             profiler.add("faults", perf() - started)
         if self._retry_at:
+            started = perf()
             for packet in self._retry_at.pop(cycle, ()):
                 self._requeue(packet)
+            profiler.add("retries", perf() - started)
         started = perf()
         self._generate(cycle)
         profiler.add("generate", perf() - started)
@@ -293,6 +388,61 @@ class WormholeSimulator:
     # -- stage 1: generation and injection ------------------------------------
 
     def _generate(self, cycle: int) -> None:
+        """Arrival-calendar generation: drain the heap of due sources.
+
+        Bit-identical to :meth:`_generate_reference`: sources whose next
+        arrival lies in the future draw nothing there too, and the due
+        sources are processed in source-list order, so the shared RNG
+        sees exactly the same draw sequence."""
+        heap = self._arrival_heap
+        if not heap or heap[0][0] > cycle:
+            return  # no source due this cycle: one peek and done
+        if cycle >= self.config.generation_cycles:
+            return  # drain window: let in-flight traffic finish
+        pop = heapq.heappop
+        due = [pop(heap)]
+        while heap and heap[0][0] <= cycle:
+            due.append(pop(heap))
+        if len(due) > 1:
+            # The heap yields time order; the RNG contract is source-list
+            # order (the order the scan-based generator visits them).
+            due.sort(key=lambda item: item[1])
+        config = self.config
+        rate = config.messages_per_cycle
+        lengths = config.message_lengths
+        num_lengths = len(lengths)
+        max_queue = config.max_queue_per_node
+        rng = self.rng
+        expovariate = rng.expovariate
+        randrange = rng.randrange
+        pattern_dest = self.pattern.dest
+        queues = self.queues
+        sources = self.sources
+        next_arrival = self.next_arrival
+        push = heapq.heappush
+        dead_routers = (
+            self.fault_state.dead_routers if self.fault_state is not None else ()
+        )
+        for when, index in due:
+            node = sources[index]
+            while when <= cycle:
+                when += expovariate(rate)
+                if node in dead_routers:
+                    continue  # a dead router offers no traffic
+                if len(queues[node]) >= max_queue:
+                    continue
+                dst = pattern_dest(node, rng)
+                if dst is None or dst == node:
+                    continue
+                length = lengths[randrange(num_lengths)]
+                self._enqueue(Packet(self._next_pid, node, dst, length, cycle))
+                self._next_pid += 1
+            next_arrival[node] = when
+            push(heap, (when, index))
+
+    def _generate_reference(self, cycle: int) -> None:
+        """The scan-based generator: visit every source, every cycle
+        (the pre-calendar hot path, kept for the equivalence suite)."""
         if self.config.messages_per_cycle <= 0:
             return
         if cycle >= self.config.generation_cycles:
@@ -386,8 +536,104 @@ class WormholeSimulator:
 
     # -- stage 2: arbitration --------------------------------------------------
 
+    def _route_pairs(self, node: int, dest: int, in_direction) -> tuple:
+        """Memoised ``(direction, runtime channel id)`` pairs for the
+        algorithm's minimal candidates at this routing decision."""
+        per_node = self._pair_cache.get(node)
+        if per_node is None:
+            per_node = self._pair_cache[node] = {}
+        key = (dest, in_direction)
+        pairs = per_node.get(key)
+        if pairs is None:
+            channel_ids = self.channel_ids
+            pairs = per_node[key] = tuple(
+                (d, channel_ids[(node, d)])
+                for d in self.routing_table.candidates(node, dest, in_direction)
+            )
+        return pairs
+
+    def _escape_pairs(self, node: int, dest: int, in_direction) -> tuple:
+        per_node = self._pair_cache.get(node)
+        if per_node is None:
+            per_node = self._pair_cache[node] = {}
+        key = ("e", dest, in_direction)
+        pairs = per_node.get(key)
+        if pairs is None:
+            channel_ids = self.channel_ids
+            pairs = per_node[key] = tuple(
+                (d, channel_ids[(node, d)])
+                for d in self.routing_table.escape_candidates(
+                    node, dest, in_direction
+                )
+            )
+        return pairs
+
+    def _vc_pairs(self, node: int, dest: int, in_direction, in_vc) -> tuple:
+        per_node = self._pair_cache.get(node)
+        if per_node is None:
+            per_node = self._pair_cache[node] = {}
+        key = ("v", dest, in_direction, in_vc)
+        pairs = per_node.get(key)
+        if pairs is None:
+            num_vc = self.num_vc
+            channel_ids = self.channel_ids
+            built = []
+            for d, vc in self.routing_table.vc_candidates(
+                node, dest, in_direction, in_vc, num_vc
+            ):
+                base = channel_ids.get((node, d))
+                if base is None or not 0 <= vc < num_vc:
+                    continue
+                built.append((d, base + vc))
+            pairs = per_node[key] = tuple(built)
+        return pairs
+
+    def _vc_escape_pairs(self, node: int, dest: int, in_direction, in_vc) -> tuple:
+        per_node = self._pair_cache.get(node)
+        if per_node is None:
+            per_node = self._pair_cache[node] = {}
+        key = ("w", dest, in_direction, in_vc)
+        pairs = per_node.get(key)
+        if pairs is None:
+            num_vc = self.num_vc
+            channel_ids = self.channel_ids
+            built = []
+            for d, vc in self.routing_table.vc_escape_candidates(
+                node, dest, in_direction, in_vc, num_vc
+            ):
+                base = channel_ids.get((node, d))
+                if base is None or not 0 <= vc < num_vc:
+                    continue
+                built.append((d, base + vc))
+            pairs = per_node[key] = tuple(built)
+        return pairs
+
     def _candidate_channels(self, packet: Packet) -> List[tuple]:
-        """Free (direction, runtime channel id) pairs for this header."""
+        """Free (direction, runtime channel id) pairs for this header,
+        served from the routing-table pair memo."""
+        alloc = self.channel_alloc
+        node = packet.head_node
+        dest = packet.dst
+        in_direction = packet.head_direction
+        if self.num_vc == 1:
+            pairs = self._route_pairs(node, dest, in_direction)
+            free = [pc for pc in pairs if alloc[pc[1]] is None]
+            if not free and packet.misroutes < self.config.misroute_limit:
+                pairs = self._escape_pairs(node, dest, in_direction)
+                free = [pc for pc in pairs if alloc[pc[1]] is None]
+            return free
+        in_vc = packet.head_vc
+        pairs = self._vc_pairs(node, dest, in_direction, in_vc)
+        free = [pc for pc in pairs if alloc[pc[1]] is None]
+        if not free and packet.misroutes < self.config.misroute_limit:
+            pairs = self._vc_escape_pairs(node, dest, in_direction, in_vc)
+            free = [pc for pc in pairs if alloc[pc[1]] is None]
+        return free
+
+    def _candidate_channels_reference(self, packet: Packet) -> List[tuple]:
+        """Free (direction, runtime channel id) pairs, derived from
+        scratch on every call (the pre-table hot path, kept for the
+        equivalence suite)."""
         if self.num_vc == 1:
             cands = self.algorithm.candidates(
                 packet.head_node, packet.dst, packet.head_direction
@@ -437,37 +683,114 @@ class WormholeSimulator:
                 out.append((direction, cid))
         return out
 
+    # -- channel-free wakeup sets ---------------------------------------------
+
+    def _park(self, packet: Packet) -> None:
+        """Park a header whose candidate set is fully busy: register it
+        on every channel it could use (including eligible escapes) and
+        skip it in arbitration until one of them frees.
+
+        A parked header provably has zero free candidates, and its
+        candidate set is a pure function of state that cannot change
+        while it waits — so skipping its scan is unobservable."""
+        node = packet.head_node
+        dest = packet.dst
+        in_direction = packet.head_direction
+        if self.num_vc == 1:
+            pairs = self._route_pairs(node, dest, in_direction)
+            if packet.misroutes < self.config.misroute_limit:
+                pairs = pairs + self._escape_pairs(node, dest, in_direction)
+        else:
+            in_vc = packet.head_vc
+            pairs = self._vc_pairs(node, dest, in_direction, in_vc)
+            if packet.misroutes < self.config.misroute_limit:
+                pairs = pairs + self._vc_escape_pairs(
+                    node, dest, in_direction, in_vc
+                )
+        watchers = self._channel_watchers
+        for _, cid in pairs:
+            ws = watchers.get(cid)
+            if ws is None:
+                ws = watchers[cid] = set()
+            ws.add(packet)
+        self._parked.add(packet)
+
+    def _park_eject(self, packet: Packet) -> None:
+        """Park a header waiting for its (busy) ejection port."""
+        node = packet.head_node
+        ws = self._eject_watchers.get(node)
+        if ws is None:
+            ws = self._eject_watchers[node] = set()
+        ws.add(packet)
+        self._parked.add(packet)
+
+    def _free_channel(self, cid: int) -> None:
+        """Release a runtime channel and wake every header watching it."""
+        self.channel_alloc[cid] = None
+        watchers = self._channel_watchers.pop(cid, None)
+        if watchers:
+            self._parked.difference_update(watchers)
+
+    def _free_ejector(self, node: int) -> None:
+        """Release an ejection port and wake every header watching it."""
+        self.ejection_alloc[node] = None
+        watchers = self._eject_watchers.pop(node, None)
+        if watchers:
+            self._parked.difference_update(watchers)
+
+    def _wake_all(self) -> None:
+        """Un-park everything (fault events change candidate masks)."""
+        self._parked.clear()
+        self._channel_watchers.clear()
+        self._eject_watchers.clear()
+
     def _arbitrate(self, cycle: int) -> None:
-        if not self.waiting:
+        waiting = self.waiting
+        if not waiting:
             return
+        parked = self._parked
+        if len(parked) >= len(waiting):
+            return  # every waiting header is parked on a wakeup set
         channel_requests: Dict[int, List[Packet]] = {}
         eject_requests: Dict[int, List[Packet]] = {}
         emit = self._emit
-        for packet in self.waiting:
-            if packet.state is PacketState.EJECT_WAIT:
-                if self.ejection_alloc[packet.head_node] is None:
-                    eject_requests.setdefault(packet.head_node, []).append(packet)
-                elif emit is not None:
-                    self._note_blocked(packet, cycle)
+        wakeups = self._wakeups
+        candidate_channels = self._candidate_channels
+        ejection_alloc = self.ejection_alloc
+        output_policy = self.output_policy
+        rng = self.rng
+        for packet in waiting:
+            if packet in parked:
                 continue
-            free = self._candidate_channels(packet)
+            if packet.state is PacketState.EJECT_WAIT:
+                if ejection_alloc[packet.head_node] is None:
+                    eject_requests.setdefault(packet.head_node, []).append(packet)
+                else:
+                    if emit is not None:
+                        self._note_blocked(packet, cycle)
+                    if wakeups:
+                        self._park_eject(packet)
+                continue
+            free = candidate_channels(packet)
             if not free:
                 if emit is not None:
                     self._note_blocked(packet, cycle)
+                if wakeups:
+                    self._park(packet)
                 continue
             directions = []
             for direction, _ in free:
                 if direction not in directions:
                     directions.append(direction)
-            direction = self.output_policy(directions, packet, self.rng)
+            direction = output_policy(directions, packet, rng)
             # Respect the algorithm's virtual-channel preference order.
             cid = next(c for d, c in free if d == direction)
             channel_requests.setdefault(cid, []).append(packet)
         for cid, contenders in channel_requests.items():
-            winner = self.input_policy(contenders, self.rng)
+            winner = self.input_policy(contenders, rng)
             self._grant_channel(winner, cid)
         for node, contenders in eject_requests.items():
-            winner = self.input_policy(contenders, self.rng)
+            winner = self.input_policy(contenders, rng)
             self.ejection_alloc[node] = winner
             winner.state = PacketState.EJECTING
             self.waiting.pop(winner, None)
@@ -530,7 +853,11 @@ class WormholeSimulator:
             and self.config.warmup_cycles <= cycle < self.config.generation_cycles
         ):
             series = self._collectors.channel_counts
-        movers = [p for p in self.active if p not in self.dormant]
+        dormant = self.dormant
+        if dormant:
+            movers = [p for p in self.active if p not in dormant]
+        else:
+            movers = list(self.active)
         links_used = None
         if self.num_vc > 1 and movers:
             # Virtual channels share their physical link: one flit per
@@ -550,7 +877,7 @@ class WormholeSimulator:
                 # zero until an arbitration grant un-parks the packet —
                 # unless the link-sharing arbitration (not the worm's own
                 # state) caused the stall, which can clear next cycle.
-                self.dormant.add(packet)
+                dormant.add(packet)
 
     def _move_packet(
         self,
@@ -628,10 +955,11 @@ class WormholeSimulator:
                         direction=repr(channel.direction),
                     )
                 )
-        # Release drained channels at the tail.
+        # Release drained channels at the tail (waking any header parked
+        # on the freed channel).
         while holds and holds[0].moved >= packet.length and holds[0].buffered == 0:
             hold = holds.pop(0)
-            self.channel_alloc[hold.channel_id] = None
+            self._free_channel(hold.channel_id)
             moved += 1  # a release is progress for the watchdog
         if packet.state is PacketState.EJECTING and packet.ejected == packet.length:
             self._deliver(packet, cycle)
@@ -647,7 +975,12 @@ class WormholeSimulator:
     # -- fault injection, per-packet watchdog, and retries ---------------------
 
     def _apply_faults(self, cycle: int) -> None:
-        """Fire the fault plan's scheduled changes for this cycle."""
+        """Fire the fault plan's scheduled changes for this cycle.
+
+        Every fired event invalidates the routing-table and pair-cache
+        entries of exactly the nodes whose candidate masks it touches,
+        and wakes every parked header (their watch sets may be stale
+        against the new masks)."""
         events = self._fault_schedule.pop(cycle, None)
         if not events:
             return
@@ -686,6 +1019,13 @@ class WormholeSimulator:
                         and self.injection_busy[event.node] is None
                     ):
                         self.pending_nodes.add(event.node)
+            for node in self.routing_table.affected_nodes(
+                self.topology, event.node,
+                channel_only=(event.kind == CHANNEL_FAULT),
+            ):
+                self.routing_table.invalidate_node(node)
+                self._pair_cache.pop(node, None)
+        self._wake_all()
 
     def _kill_channel_holders(self, event, cycle: int) -> None:
         """Kill every worm holding a virtual channel of the failed link."""
@@ -723,15 +1063,16 @@ class WormholeSimulator:
             self.result.max_stall_age_cycles = stall
         for hold in packet.holds:
             if self.channel_alloc[hold.channel_id] is packet:
-                self.channel_alloc[hold.channel_id] = None
+                self._free_channel(hold.channel_id)
         packet.holds.clear()
         if self.injection_busy[packet.src] is packet:
             self._release_injection(packet)
         if self.ejection_alloc[packet.dst] is packet:
-            self.ejection_alloc[packet.dst] = None
+            self._free_ejector(packet.dst)
         self.active.pop(packet, None)
         self.waiting.pop(packet, None)
         self.dormant.discard(packet)
+        self._parked.discard(packet)
         if self._emit is not None and killed:
             self._blocked_noted.discard(packet)
             self._emit(
@@ -826,7 +1167,7 @@ class WormholeSimulator:
     def _deliver(self, packet: Packet, cycle: int) -> None:
         packet.state = PacketState.DELIVERED
         packet.delivered = cycle
-        self.ejection_alloc[packet.dst] = None
+        self._free_ejector(packet.dst)
         self.active.pop(packet, None)
         self.dormant.discard(packet)
         if self._emit is not None:

@@ -1,0 +1,136 @@
+"""The engine benchmark harness: points, measurement, regression gate."""
+
+import json
+
+import pytest
+
+from repro.analysis.bench import (
+    BenchPoint,
+    CANONICAL_POINTS,
+    FINGERPRINT_FIELDS,
+    bench_points,
+    compare_reports,
+    load_report,
+    run_bench,
+    run_point,
+    write_report,
+)
+
+TINY = BenchPoint(
+    id="tiny", topology="mesh:4x4", algorithm="west-first",
+    pattern="uniform", offered_load=1.0, warmup_cycles=50,
+    measure_cycles=200, seed=3,
+)
+
+
+class TestPoints:
+    def test_canonical_ids_are_unique(self):
+        ids = [p.id for p in CANONICAL_POINTS]
+        assert len(ids) == len(set(ids))
+
+    def test_quick_subset_is_nonempty_and_proper(self):
+        quick = bench_points(quick=True)
+        assert 0 < len(quick) < len(CANONICAL_POINTS)
+        assert all(p.quick for p in quick)
+        assert bench_points() == list(CANONICAL_POINTS)
+
+    def test_fault_point_config_arms_the_fault_machinery(self):
+        point = next(p for p in CANONICAL_POINTS if p.fault_links)
+        config = point.config()
+        assert not config.fault_plan.is_empty
+        assert config.packet_timeout > 0
+        assert config.max_retries > 0
+
+    def test_observability_point_switches_collectors_on(self):
+        point = next(p for p in CANONICAL_POINTS if p.observability)
+        config = point.config()
+        assert config.collect_latency_histogram
+        assert config.channel_series_period > 0
+
+
+class TestMeasurement:
+    def test_run_point_measures_and_fingerprints(self):
+        m = run_point(TINY, repeats=1)
+        assert m.wall_s > 0
+        assert m.simulated_cycles == TINY.config().total_cycles
+        assert m.cycles_per_s > 0
+        assert len(m.fingerprint) == len(FINGERPRINT_FIELDS)
+        assert m.fingerprint[0] > 0  # generated packets
+
+    def test_repeats_keep_the_same_fingerprint(self):
+        once = run_point(TINY, repeats=1)
+        twice = run_point(TINY, repeats=2)
+        assert twice.fingerprint == once.fingerprint
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            run_point(TINY, repeats=0)
+
+    def test_report_round_trip_and_baseline_fold(self, tmp_path):
+        report = run_bench([TINY], repeats=1, label="before")
+        path = tmp_path / "before.json"
+        write_report(report, str(path))
+        prior = load_report(str(path))
+        assert prior["label"] == "before"
+        again = run_bench([TINY], repeats=1, baseline=prior, label="after")
+        m = again.measurements[0]
+        assert m.baseline is not None
+        assert m.baseline["label"] == "before"
+        assert "speedup" in m.to_dict()
+        assert "x" in again.render()  # the speedup column rendered
+
+    def test_load_report_rejects_non_reports(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError):
+            load_report(str(path))
+
+
+class TestRegressionGate:
+    def _committed(self, m, **overrides):
+        entry = m.to_dict()
+        entry.update(overrides)
+        return {"points": {m.point.id: entry}}
+
+    def test_clean_pass(self):
+        report = run_bench([TINY], repeats=1)
+        assert compare_reports(report, self._committed(report.measurements[0])) == []
+
+    def test_fingerprint_change_is_fatal(self):
+        report = run_bench([TINY], repeats=1)
+        m = report.measurements[0]
+        bad = list(m.fingerprint)
+        bad[0] += 1
+        problems = compare_reports(report, self._committed(m, fingerprint=bad))
+        assert len(problems) == 1
+        assert "fingerprint" in problems[0]
+
+    def test_slowdown_beyond_threshold_is_fatal(self):
+        report = run_bench([TINY], repeats=1)
+        m = report.measurements[0]
+        committed = self._committed(m, cycles_per_s=m.cycles_per_s * 10)
+        problems = compare_reports(report, committed, fail_threshold=0.30)
+        assert any("regressed" in p for p in problems)
+        # A generous threshold absorbs the same gap.
+        assert compare_reports(report, committed, fail_threshold=0.95) == []
+
+    def test_unknown_points_are_ignored(self):
+        report = run_bench([TINY], repeats=1)
+        assert compare_reports(report, {"points": {}}) == []
+
+
+class TestCommittedTrajectory:
+    def test_bench_engine_json_fingerprints_still_hold(self):
+        """The committed trajectory's quick points must fingerprint-match
+        a fresh run: BENCH_engine.json doubles as a bit-identity pin."""
+        from pathlib import Path
+
+        trajectory = Path(__file__).resolve().parents[2] / "BENCH_engine.json"
+        committed = load_report(str(trajectory))
+        report = run_bench(bench_points(quick=True), repeats=1)
+        problems = [
+            p
+            for p in compare_reports(report, committed, fail_threshold=0.30)
+            if "fingerprint" in p
+        ]
+        assert problems == []

@@ -262,6 +262,31 @@ class TestProfiledRun:
         assert profiler.total_seconds > 0.0
         assert "allocate" in profiler.report()
 
+    def test_profile_times_fault_and_retry_phases(self):
+        # Regression: the retry-requeue loop used to run untimed in
+        # profiled mode, silently leaking its cost out of the report.
+        from repro.analysis.runner import parse_topology_spec
+        from repro.faults.plan import FaultPlan
+
+        topology = parse_topology_spec("mesh:6x6")
+        config = SimulationConfig(
+            offered_load=1.2, warmup_cycles=100, measure_cycles=600,
+            seed=7, drain_cycles=200,
+            fault_plan=FaultPlan.random_links(topology, 6, seed=1, start=150),
+            packet_timeout=100, max_retries=2,
+        )
+        profiler = PhaseProfiler()
+        _, profiled = _simulate(
+            "mesh:6x6", "west-first", "uniform", config, profiler=profiler
+        )
+        _, plain = _simulate("mesh:6x6", "west-first", "uniform", config)
+        assert _fingerprint(profiled) == _fingerprint(plain)
+        assert profiled.retried_packets > 0  # the point exercised retries
+        for phase in ("faults", "retries", "watchdog"):
+            assert profiler.seconds.get(phase, 0.0) > 0.0
+        # One timed retry batch per cycle with retries due.
+        assert profiler.calls["retries"] >= 1
+
 
 class TestSinkIntegration:
     def test_jsonl_file_round_trips_engine_events(self, tmp_path):

@@ -1,0 +1,173 @@
+"""The optimised engine is bit-identical to the reference scan engine.
+
+``WormholeSimulator(reference=True)`` runs the pre-optimisation code
+paths: scan-every-source generation, derive-from-scratch routing, no
+wakeup parking.  Every operating point here runs both engines and
+compares the *complete* ``SimulationResult.to_dict()`` — counters,
+histograms, backlog samples, utilization series — plus, where a sink is
+attached, the full ordered trace-event stream.  Any divergence in RNG
+draw order, arbitration order, or accounting shows up as a mismatch.
+"""
+
+import pytest
+
+from repro.analysis.runner import make_pattern, parse_topology_spec
+from repro.faults.plan import FaultPlan
+from repro.observability import ListSink
+from repro.routing.registry import make_algorithm
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import WormholeSimulator
+
+
+def build(topology_spec, algorithm, pattern, config, reference, sink=None):
+    topology = parse_topology_spec(topology_spec)
+    return WormholeSimulator(
+        make_algorithm(algorithm, topology),
+        make_pattern(pattern, topology),
+        config,
+        sink=sink,
+        reference=reference,
+    )
+
+
+def assert_equivalent(topology_spec, algorithm, pattern, config, trace=True):
+    ref_sink = ListSink() if trace else None
+    opt_sink = ListSink() if trace else None
+    ref = build(topology_spec, algorithm, pattern, config, True, ref_sink)
+    opt = build(topology_spec, algorithm, pattern, config, False, opt_sink)
+    ref_result = ref.run()
+    opt_result = opt.run()
+    assert opt_result.to_dict() == ref_result.to_dict()
+    if trace:
+        assert opt_sink.events == ref_sink.events
+    assert opt_result.generated_packets > 0  # the point exercised traffic
+
+
+MESH_ALGOS = ["xy", "west-first", "north-last", "negative-first"]
+
+
+class TestMeshEquivalence:
+    @pytest.mark.parametrize("algorithm", MESH_ALGOS)
+    def test_saturated_mesh(self, algorithm):
+        config = SimulationConfig(
+            offered_load=1.5, warmup_cycles=100, measure_cycles=500, seed=3
+        )
+        assert_equivalent("mesh:6x6", algorithm, "uniform", config)
+
+    def test_low_load_transpose(self):
+        config = SimulationConfig(
+            offered_load=0.6, warmup_cycles=100, measure_cycles=500, seed=11
+        )
+        assert_equivalent("mesh:8x8", "west-first", "transpose", config)
+
+    def test_nonminimal_with_misroutes(self):
+        config = SimulationConfig(
+            offered_load=1.2, warmup_cycles=100, measure_cycles=500,
+            seed=5, misroute_limit=2,
+        )
+        assert_equivalent("mesh:5x5", "negative-first", "uniform", config)
+
+    def test_random_selection_policies(self):
+        # Random input/output selection consumes RNG draws during
+        # arbitration — the wakeup optimisation must not add or skip any.
+        config = SimulationConfig(
+            offered_load=1.2, warmup_cycles=100, measure_cycles=400,
+            seed=7, input_selection="random", output_selection="random",
+        )
+        assert_equivalent("mesh:5x5", "west-first", "uniform", config)
+
+    def test_deep_buffers_and_long_messages(self):
+        config = SimulationConfig(
+            offered_load=1.0, warmup_cycles=100, measure_cycles=400,
+            seed=9, buffer_depth=4, message_lengths=(5, 20, 60),
+        )
+        assert_equivalent("mesh:5x5", "north-last", "uniform", config)
+
+
+class TestOtherTopologies:
+    def test_hypercube_pcube(self):
+        config = SimulationConfig(
+            offered_load=2.0, warmup_cycles=100, measure_cycles=400, seed=5
+        )
+        assert_equivalent("cube:6", "p-cube", "uniform", config)
+
+    def test_hypercube_ecube_reverse_flip(self):
+        config = SimulationConfig(
+            offered_load=1.0, warmup_cycles=100, measure_cycles=400, seed=2
+        )
+        assert_equivalent("cube:5", "e-cube", "reverse-flip", config)
+
+    def test_torus_virtual_channels(self):
+        config = SimulationConfig(
+            offered_load=0.6, warmup_cycles=100, measure_cycles=400,
+            seed=9, virtual_channels=2,
+        )
+        assert_equivalent(
+            "torus:6x2", "negative-first-torus", "uniform", config
+        )
+
+    def test_torus_dateline_vc(self):
+        config = SimulationConfig(
+            offered_load=0.8, warmup_cycles=100, measure_cycles=400,
+            seed=4, virtual_channels=2,
+        )
+        assert_equivalent(
+            "torus:8x1", "dateline-dimension-order", "uniform", config
+        )
+
+    def test_mesh_escape_vc_adaptive(self):
+        config = SimulationConfig(
+            offered_load=1.2, warmup_cycles=100, measure_cycles=400,
+            seed=6, virtual_channels=2,
+        )
+        assert_equivalent("mesh:5x5", "escape-vc-adaptive", "uniform", config)
+
+
+class TestFaultEquivalence:
+    def test_mid_run_link_failures(self):
+        topology = parse_topology_spec("mesh:6x6")
+        config = SimulationConfig(
+            offered_load=1.0, warmup_cycles=100, measure_cycles=600,
+            seed=3, drain_cycles=200,
+            fault_plan=FaultPlan.random_links(topology, 3, seed=4, start=150),
+            packet_timeout=300, max_retries=2,
+        )
+        assert_equivalent("mesh:6x6", "west-first", "uniform", config)
+
+    def test_transient_faults_heal(self):
+        topology = parse_topology_spec("mesh:6x6")
+        config = SimulationConfig(
+            offered_load=1.0, warmup_cycles=100, measure_cycles=600,
+            seed=8, drain_cycles=200,
+            fault_plan=FaultPlan.random_links(
+                topology, 3, seed=5, start=150, end=400
+            ),
+            packet_timeout=300, max_retries=2,
+        )
+        assert_equivalent("mesh:6x6", "west-first", "uniform", config)
+
+    def test_router_failure(self):
+        from repro.faults.plan import FaultEvent
+
+        plan = FaultPlan(events=(FaultEvent.router(14, start=200),))
+        config = SimulationConfig(
+            offered_load=1.0, warmup_cycles=100, measure_cycles=500,
+            seed=6, fault_plan=plan, packet_timeout=250, max_retries=1,
+        )
+        assert_equivalent("mesh:6x6", "west-first", "uniform", config)
+
+
+class TestObservabilityEquivalence:
+    def test_collectors_on(self):
+        config = SimulationConfig(
+            offered_load=1.2, warmup_cycles=100, measure_cycles=500, seed=3
+        ).with_observability()
+        assert_equivalent("mesh:6x6", "west-first", "uniform", config)
+
+    def test_collectors_off_no_trace(self):
+        config = SimulationConfig(
+            offered_load=1.2, warmup_cycles=100, measure_cycles=500, seed=3
+        )
+        assert_equivalent(
+            "mesh:6x6", "west-first", "uniform", config, trace=False
+        )

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main, make_pattern, parse_topology
@@ -305,3 +307,63 @@ class TestRobustnessFlagValidation:
         )
         assert code == 0
         assert "xy" in capsys.readouterr().out
+
+
+class TestBenchCommand:
+    def _patch_tiny_points(self, monkeypatch):
+        import repro.cli as cli
+        from repro.analysis.bench import BenchPoint
+
+        tiny = [
+            BenchPoint(
+                id="tiny", topology="mesh:4x4", algorithm="west-first",
+                pattern="uniform", offered_load=1.0, warmup_cycles=50,
+                measure_cycles=200, seed=3, quick=True,
+            )
+        ]
+        monkeypatch.setattr(cli, "bench_points", lambda quick=False: tiny)
+
+    def test_bench_writes_report(self, capsys, monkeypatch, tmp_path):
+        self._patch_tiny_points(monkeypatch)
+        out = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--quick", "--repeats", "1", "--out", str(out),
+             "--label", "test run"]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "tiny" in text and "cycles/s" in text
+        report = json.loads(out.read_text())
+        assert report["label"] == "test run"
+        assert "tiny" in report["points"]
+
+    def test_bench_gate_passes_against_itself(self, capsys, monkeypatch, tmp_path):
+        self._patch_tiny_points(monkeypatch)
+        committed = tmp_path / "committed.json"
+        assert main(["bench", "--repeats", "1", "--out", str(committed)]) == 0
+        capsys.readouterr()
+        code = main(
+            ["bench", "--repeats", "1", "--check-against", str(committed),
+             # The tiny point runs in ~ms: absorb scheduler noise so the
+             # test only exercises the (deterministic) fingerprint gate.
+             "--fail-threshold", "0.95"]
+        )
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_bench_gate_fails_on_fingerprint_change(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        self._patch_tiny_points(monkeypatch)
+        committed = tmp_path / "committed.json"
+        assert main(["bench", "--repeats", "1", "--out", str(committed)]) == 0
+        data = json.loads(committed.read_text())
+        data["points"]["tiny"]["fingerprint"][0] += 1
+        committed.write_text(json.dumps(data))
+        capsys.readouterr()
+        code = main(
+            ["bench", "--repeats", "1", "--check-against", str(committed),
+             "--fail-threshold", "0.95"]
+        )
+        assert code == 1
+        assert "fingerprint" in capsys.readouterr().err
