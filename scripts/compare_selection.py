@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Regenerate the committed selection-policy comparison artifact.
+
+The measurement core lives in ``repro.analysis.selection`` (also
+exposed as ``repro selection``); this script is the reproducibility
+entry point for the committed sweep behind docs/SELECTION.md:
+
+    # the committed grid (16x16 mesh, WF + NF, uniform + transpose,
+    # all four policies, fault-free and 4 dead links)
+    python scripts/compare_selection.py --out docs/data/selection_compare.json
+
+Every knob that shapes the grid is a flag, so narrower (or wider)
+sweeps are one command away.  The JSON payload is
+``SelectionComparison.to_dict()`` — per-cell load sweeps plus deltas
+against the xy baseline.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.analysis.selection import (  # noqa: E402
+    DEFAULT_COMPARE_ALGORITHMS,
+    DEFAULT_COMPARE_LOADS,
+    DEFAULT_COMPARE_PATTERNS,
+    DEFAULT_POLICIES,
+    comparison_config,
+    run_selection_comparison,
+)
+
+
+def _csv(text):
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--topology", default="mesh:16x16")
+    parser.add_argument(
+        "--algorithms", default=",".join(DEFAULT_COMPARE_ALGORITHMS)
+    )
+    parser.add_argument(
+        "--patterns", default=",".join(DEFAULT_COMPARE_PATTERNS)
+    )
+    parser.add_argument("--policies", default=",".join(DEFAULT_POLICIES))
+    parser.add_argument(
+        "--loads", default=",".join(str(ld) for ld in DEFAULT_COMPARE_LOADS)
+    )
+    parser.add_argument("--warmup", type=int, default=800)
+    parser.add_argument("--cycles", type=int, default=3_000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--fault-links", type=int, default=4)
+    parser.add_argument("--fault-seed", type=int, default=0)
+    parser.add_argument("--selection-threshold", type=int, default=2)
+    parser.add_argument(
+        "--out", default=None,
+        help="write SelectionComparison.to_dict() as JSON here "
+        "(default: stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    comparison = run_selection_comparison(
+        topology=args.topology,
+        algorithms=_csv(args.algorithms),
+        patterns=_csv(args.patterns),
+        policies=_csv(args.policies),
+        loads=[float(part) for part in _csv(args.loads)],
+        base_config=comparison_config(
+            warmup_cycles=args.warmup,
+            measure_cycles=args.cycles,
+            seed=args.seed,
+        ),
+        fault_links=args.fault_links,
+        fault_seed=args.fault_seed,
+        selection_threshold=args.selection_threshold,
+        progress=lambda r: print("  ...", r.summary(), flush=True),
+    )
+    for row in comparison.rows():
+        print(row)
+    if args.out:
+        payload = json.dumps(comparison.to_dict(), indent=2, sort_keys=True)
+        with open(args.out, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,11 @@ class ExperimentPreset:
     packet_timeout: int = 0
     max_retries: int = 0
 
+    # Output selection (threaded through from ``figure --selection``;
+    # the default reproduces the paper's xy rule — docs/SELECTION.md).
+    output_selection: str = "xy"
+    selection_threshold: int = 2
+
     def config(self) -> SimulationConfig:
         return SimulationConfig(
             warmup_cycles=self.warmup_cycles,
@@ -58,6 +63,8 @@ class ExperimentPreset:
             deadlock_threshold=self.deadlock_threshold,
             packet_timeout=self.packet_timeout,
             max_retries=self.max_retries,
+            output_selection=self.output_selection,
+            selection_threshold=self.selection_threshold,
         )
 
 

@@ -15,12 +15,19 @@ Commands:
   JSONL event trace, text/JSON summary (latency percentiles, stall-prone
   routers, hottest channels), and per-direction channel-utilization
   heatmaps (see docs/OBSERVABILITY.md);
+* ``selection`` — compare output-selection policies (xy, round-robin,
+  max-credits, threshold) across algorithms, patterns, and a shared
+  fault plan, with saturation/latency deltas vs the xy baseline (see
+  docs/SELECTION.md);
 * ``bench`` — time the engine on the canonical operating points and
   (optionally) gate against the committed perf trajectory
   ``BENCH_engine.json`` (see docs/PERFORMANCE.md).
 
 ``simulate`` and ``trace`` accept ``--profile`` to time the engine's hot
 phases (routing decision, switch allocation, flit advance).
+``simulate``/``sweep``/``trace``/``figure``/``faults`` accept
+``--selection``/``--selection-threshold`` to swap the output-selection
+policy.
 
 ``sweep``, ``figure``, and ``faults`` route through the parallel
 experiment runner: ``--jobs N`` fans the operating points over N worker
@@ -52,6 +59,13 @@ from .analysis.faultsweep import (
     campaign_config,
     run_fault_campaign,
 )
+from .analysis.selection import (
+    DEFAULT_COMPARE_ALGORITHMS,
+    DEFAULT_COMPARE_PATTERNS,
+    DEFAULT_POLICIES,
+    comparison_config,
+    run_selection_comparison,
+)
 from .analysis.runner import (
     PATTERN_NAMES,
     ParallelSweepRunner,
@@ -73,6 +87,7 @@ from .observability import (
 from .routing.registry import algorithm_names, make_algorithm
 from .simulation.config import SimulationConfig
 from .simulation.engine import WormholeSimulator
+from .simulation.selection import output_policy_names
 from .topology.base import Topology
 from .topology.mesh import Mesh2D
 from .verification import check_connectivity, verify_algorithm
@@ -105,6 +120,7 @@ def cmd_list(args) -> int:
     print("patterns   :", ", ".join(PATTERN_NAMES))
     print("turn models:", ", ".join(sorted(TURN_MODELS)))
     print("figures    :", ", ".join(sorted(FIGURE_HARNESSES)))
+    print("selection  :", ", ".join(output_policy_names()))
     return 0
 
 
@@ -177,6 +193,8 @@ def _config(args) -> SimulationConfig:
         seed=args.seed,
         buffer_depth=args.buffer_depth,
         virtual_channels=getattr(args, "vc", 1),
+        output_selection=getattr(args, "selection", "xy"),
+        selection_threshold=getattr(args, "selection_threshold", 2),
         deadlock_threshold=getattr(args, "deadlock_threshold", 5_000),
         packet_timeout=getattr(args, "packet_timeout", 0),
         max_retries=getattr(args, "max_retries", 0),
@@ -375,6 +393,10 @@ def cmd_figure(args) -> int:
         for knob in ("deadlock_threshold", "packet_timeout", "max_retries")
         if getattr(args, knob) != getattr(preset, knob)
     }
+    if args.selection != preset.output_selection:
+        overrides["output_selection"] = args.selection
+    if args.selection_threshold != preset.selection_threshold:
+        overrides["selection_threshold"] = args.selection_threshold
     if overrides:
         preset = replace(preset, **overrides)
     runner = _make_runner(args)
@@ -408,6 +430,8 @@ def cmd_faults(args) -> int:
         retry_backoff_base=args.retry_backoff_base,
         retry_backoff_cap=args.retry_backoff_cap,
         deadlock_threshold=args.deadlock_threshold,
+        output_selection=args.selection,
+        selection_threshold=args.selection_threshold,
     )
     runner = _make_runner(args)
     progress = None
@@ -433,6 +457,52 @@ def cmd_faults(args) -> int:
     else:
         print()
         for row in campaign.rows():
+            print(row)
+        print(f"[{runner.stats.summary()}]")
+    return 0
+
+
+def cmd_selection(args) -> int:
+    def _csv(text: str) -> List[str]:
+        return [part.strip() for part in text.split(",") if part.strip()]
+
+    algorithms = _csv(args.algorithms)
+    patterns = _csv(args.patterns)
+    policies = _csv(args.policies)
+    try:
+        loads = [float(part) for part in args.loads.split(",")]
+    except ValueError:
+        raise SystemExit(f"bad --loads list {args.loads!r}")
+    config = comparison_config(
+        warmup_cycles=args.warmup,
+        measure_cycles=args.cycles,
+        seed=args.seed,
+    )
+    runner = _make_runner(args)
+    progress = None
+    if not args.json:
+        progress = lambda r: print("  ...", r.summary(), flush=True)  # noqa: E731
+    try:
+        comparison = run_selection_comparison(
+            topology=args.topology,
+            algorithms=algorithms,
+            patterns=patterns,
+            policies=policies,
+            loads=loads,
+            base_config=config,
+            fault_links=args.fault_links,
+            fault_seed=args.fault_seed,
+            selection_threshold=args.selection_threshold,
+            runner=runner,
+            progress=progress,
+        )
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(str(exc)) from exc
+    if args.json:
+        print(json.dumps(comparison.to_dict(), indent=2, sort_keys=True))
+    else:
+        print()
+        for row in comparison.rows():
             print(row)
         print(f"[{runner.stats.summary()}]")
     return 0
@@ -516,6 +586,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--vc", type=int, default=1, help="virtual channels per link"
         )
         _add_robustness_flags(p)
+        _add_selection_flags(p)
         if name == "simulate":
             p.add_argument("--load", type=float, default=1.0)
             p.add_argument(
@@ -576,6 +647,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="time the engine's hot phases and print the report",
     )
     _add_robustness_flags(p)
+    _add_selection_flags(p)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("name", help="fig13..fig16, or the bare number")
@@ -591,6 +663,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="alias for --preset full (kept for compatibility)",
     )
     _add_robustness_flags(p)
+    _add_selection_flags(p)
     _add_runner_flags(p)
 
     p = sub.add_parser(
@@ -643,6 +716,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_robustness_flags(
         p, packet_timeout_default=800, max_retries_default=2
+    )
+    _add_selection_flags(p)
+    _add_runner_flags(p)
+
+    p = sub.add_parser(
+        "selection",
+        help="compare output-selection policies across algorithms, "
+        "patterns, and a fault plan (docs/SELECTION.md)",
+    )
+    p.add_argument("--topology", default="mesh:16x16")
+    p.add_argument(
+        "--algorithms",
+        default=",".join(DEFAULT_COMPARE_ALGORITHMS),
+        help="comma-separated routing algorithms to compare under",
+    )
+    p.add_argument(
+        "--patterns",
+        default=",".join(DEFAULT_COMPARE_PATTERNS),
+        help="comma-separated traffic patterns",
+    )
+    p.add_argument(
+        "--policies",
+        default=",".join(DEFAULT_POLICIES),
+        help="comma-separated selection policies (xy is the baseline)",
+    )
+    p.add_argument(
+        "--loads",
+        default="0.6,1.2,2.0",
+        help="comma-separated offered loads (flits/us/node)",
+    )
+    p.add_argument("--warmup", type=int, default=800)
+    p.add_argument("--cycles", type=int, default=3_000)
+    p.add_argument("--seed", type=int, default=1, help="simulation seed")
+    p.add_argument(
+        "--fault-links",
+        type=_non_negative_int,
+        default=4,
+        help="also run every cell against this many dead links "
+        "(0 skips the faulted half)",
+    )
+    p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed the shared fault plan derives from",
+    )
+    p.add_argument(
+        "--selection-threshold",
+        type=_non_negative_int,
+        default=2,
+        help="downstream occupancy at which the 'threshold' policy "
+        "reroutes",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the comparison as JSON instead of the text report",
     )
     _add_runner_flags(p)
 
@@ -723,6 +853,26 @@ def _add_robustness_flags(
     )
 
 
+def _add_selection_flags(p: argparse.ArgumentParser) -> None:
+    """The output-selection knobs shared by simulate/sweep/trace/figure/
+    faults (docs/SELECTION.md).  ``choices`` makes argparse reject an
+    unknown policy name with the valid list."""
+    p.add_argument(
+        "--selection",
+        default="xy",
+        choices=output_policy_names(),
+        help="output-selection policy among the free legal candidates "
+        "(default xy, the paper's rule)",
+    )
+    p.add_argument(
+        "--selection-threshold",
+        type=_non_negative_int,
+        default=2,
+        help="downstream occupancy at which the 'threshold' policy "
+        "reroutes (other policies ignore it)",
+    )
+
+
 def _add_runner_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--jobs",
@@ -757,6 +907,7 @@ COMMANDS = {
     "figure": cmd_figure,
     "faults": cmd_faults,
     "trace": cmd_trace,
+    "selection": cmd_selection,
     "bench": cmd_bench,
 }
 

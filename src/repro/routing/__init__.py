@@ -27,6 +27,17 @@ from .registry import (
     mesh_algorithms,
     torus_algorithms,
 )
+from .selection import (
+    CongestionView,
+    EngineCongestionView,
+    MaxFreeCredits,
+    RoundRobin,
+    SelectionPolicy,
+    ThresholdReroute,
+    XYPreference,
+    make_selection_policy,
+    selection_policy_names,
+)
 from .table import RoutingTable
 from .torus import ClassifiedNegativeFirst, FirstHopWraparound, MeshRestriction
 from .turn_restricted import TurnRestrictedMinimal
@@ -36,31 +47,40 @@ __all__ = [
     "AllButOneNegativeFirst",
     "AllButOnePositiveLast",
     "ClassifiedNegativeFirst",
+    "CongestionView",
     "DatelineDimensionOrder",
     "DimensionOrder",
     "ECube",
+    "EngineCongestionView",
     "EscapeVCAdaptive",
     "FirstHopWraparound",
+    "MaxFreeCredits",
     "MeshRestriction",
     "NegativeFirst",
     "NonminimalPCube",
     "NorthLast",
     "PCube",
+    "RoundRobin",
     "RoutingAlgorithm",
     "RoutingDeadEnd",
     "RoutingTable",
+    "SelectionPolicy",
+    "ThresholdReroute",
     "TurnRestrictedMinimal",
     "TwoPhaseRouting",
     "WestFirst",
     "XY",
+    "XYPreference",
     "algorithm_names",
     "directions_of_path",
     "enumerate_minimal_paths",
     "hypercube_algorithms",
     "make_algorithm",
+    "make_selection_policy",
     "mesh_algorithms",
     "path_channels",
     "path_respects_turn_model",
+    "selection_policy_names",
     "sort_canonical",
     "torus_algorithms",
     "walk",

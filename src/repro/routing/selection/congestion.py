@@ -1,0 +1,124 @@
+"""Congestion signals for output-selection policies.
+
+The turn model decides *which* output channels are legal; a
+congestion-aware :class:`~repro.routing.selection.policies.
+SelectionPolicy` decides *among* them using a cheap view of downstream
+buffer state.  The candidates a policy is offered are already-free
+channels at the local router, so the discriminating signal is one hop of
+lookahead: how backed up is the router at the far end of each candidate
+channel?  That is exactly the credit signal Garnet-style adaptive
+routers use — free buffer slots on the next router's output channels.
+
+:class:`EngineCongestionView` is the engine-backed implementation.  It
+is built and bound **only** when the configured policy declares
+``uses_congestion`` — the default xy path never constructs one, never
+consults one, and therefore pays nothing.  The view holds no derived
+state that needs updating per cycle: every query reads the engine's
+live ``channel_alloc`` / hold buffers lazily, so it is always current
+at the instant of the routing decision and costs nothing between
+decisions.
+
+All queries degrade to ``None`` instead of guessing when the signal is
+unavailable (a dead channel under a fault plan, a router whose outputs
+have all failed).  Policies treat ``None`` as "no data" and fall back
+to the static preference — covered by an explicit test, per the
+fallback contract in docs/SELECTION.md.
+
+This module must not import :mod:`repro.simulation` (the simulation
+package imports the routing package); the engine is duck-typed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from ...topology.base import Direction
+
+
+class CongestionView(Protocol):
+    """What a congestion-aware selection policy reads.
+
+    Implementations return ``None`` whenever the requested signal is
+    unknown or meaningless (dead hardware, no live outputs) — never a
+    fabricated number.
+    """
+
+    def downstream(self, node: int, direction: Direction) -> Optional[int]:
+        """Router at the far end of the live channel leaving ``node`` in
+        ``direction``, or ``None`` if the channel is absent or dead."""
+        ...
+
+    def free_credits(self, node: int) -> Optional[int]:
+        """Free buffer slots summed over ``node``'s live output channels
+        (higher = less congested), or ``None`` with no live outputs."""
+        ...
+
+    def occupancy(self, node: int) -> Optional[int]:
+        """Flits buffered on ``node``'s live output channels (higher =
+        more congested), or ``None`` with no live outputs."""
+        ...
+
+
+class EngineCongestionView:
+    """Live congestion signals read straight off a running
+    :class:`~repro.simulation.engine.WormholeSimulator`.
+
+    Construction precomputes only static maps (per-node output channels
+    and per-channel downstream routers); every signal query scans the
+    engine's current allocation state, so the view never goes stale and
+    the engine never spends a cycle keeping it fresh.
+    """
+
+    def __init__(self, engine) -> None:
+        self._engine = engine
+        self._num_vc: int = engine.num_vc
+        self._buffer_depth: int = engine.config.buffer_depth
+        self._dst: Dict[Tuple[int, Direction], int] = {}
+        self._outputs: Dict[int, List[Tuple[Direction, int]]] = {}
+        for (src, direction), base in engine.channel_ids.items():
+            self._dst[(src, direction)] = engine.channels[base].dst
+            self._outputs.setdefault(src, []).append((direction, base))
+
+    def downstream(self, node: int, direction: Direction) -> Optional[int]:
+        fault_state = self._engine.fault_state
+        if fault_state is not None and fault_state.channel_dead(node, direction):
+            return None
+        return self._dst.get((node, direction))
+
+    def free_credits(self, node: int) -> Optional[int]:
+        scan = self._scan(node)
+        return None if scan is None else scan[0]
+
+    def occupancy(self, node: int) -> Optional[int]:
+        scan = self._scan(node)
+        return None if scan is None else scan[1]
+
+    def _scan(self, node: int) -> Optional[Tuple[int, int]]:
+        """(free slots, buffered flits) over ``node``'s live outputs, or
+        ``None`` when every output is dead or the node has none."""
+        engine = self._engine
+        fault_state = engine.fault_state
+        alloc = engine.channel_alloc
+        depth = self._buffer_depth
+        num_vc = self._num_vc
+        free = used = 0
+        live = False
+        for direction, base in self._outputs.get(node, ()):
+            if fault_state is not None and fault_state.channel_dead(node, direction):
+                continue
+            live = True
+            for cid in range(base, base + num_vc):
+                holder = alloc[cid]
+                buffered = 0 if holder is None else _buffered(holder, cid)
+                used += buffered
+                free += depth - buffered
+        return (free, used) if live else None
+
+
+def _buffered(packet, cid: int) -> int:
+    """Flits the holding worm currently buffers on runtime channel
+    ``cid`` (a worm holds few channels, so the scan is short)."""
+    for hold in packet.holds:
+        if hold.channel_id == cid:
+            return hold.buffered
+    return 0

@@ -11,6 +11,9 @@ from .selection import (
     fcfs_input_selection,
     get_input_policy,
     get_output_policy,
+    input_policy_names,
+    make_output_policy,
+    output_policy_names,
     random_input_selection,
     random_output_selection,
     xy_output_selection,
@@ -32,6 +35,9 @@ __all__ = [
     "fcfs_input_selection",
     "get_input_policy",
     "get_output_policy",
+    "input_policy_names",
+    "make_output_policy",
+    "output_policy_names",
     "random_input_selection",
     "random_output_selection",
     "xy_output_selection",

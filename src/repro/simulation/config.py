@@ -21,7 +21,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, fields
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..faults.plan import FaultPlan
 
@@ -73,7 +73,16 @@ class SimulationConfig:
 
     output_selection: str = "xy"
     """Choice among multiple available output channels (paper: the
-    channel along the lowest dimension)."""
+    channel along the lowest dimension).  Any name from
+    :func:`repro.simulation.selection.output_policy_names`, including
+    the congestion-aware policies of :mod:`repro.routing.selection`
+    (see docs/SELECTION.md)."""
+
+    selection_threshold: int = 2
+    """Occupancy (buffered flits at the preferred candidate's
+    downstream router) at which the ``threshold`` output-selection
+    policy abandons the static xy preference.  Other policies ignore
+    it."""
 
     misroute_limit: int = 0
     """Maximum nonminimal (escape) hops per packet; 0 = minimal routing,
@@ -157,6 +166,22 @@ class SimulationConfig:
             raise ValueError("drain_cycles must be non-negative")
         if self.misroute_limit < 0:
             raise ValueError("misroute_limit must be non-negative")
+        if self.selection_threshold < 0:
+            raise ValueError("selection_threshold must be non-negative")
+        # Deferred import: config loads before the selection module
+        # inside the simulation package's own import sequence.
+        from .selection import input_policy_names, output_policy_names
+
+        if self.output_selection not in output_policy_names():
+            raise ValueError(
+                f"unknown output_selection {self.output_selection!r}; "
+                f"known: {output_policy_names()}"
+            )
+        if self.input_selection not in input_policy_names():
+            raise ValueError(
+                f"unknown input_selection {self.input_selection!r}; "
+                f"known: {input_policy_names()}"
+            )
         if self.deadlock_threshold <= 0:
             raise ValueError("deadlock_threshold must be positive")
         if self.queue_sample_period <= 0:
@@ -216,6 +241,20 @@ class SimulationConfig:
         from dataclasses import replace
 
         return replace(self, seed=seed)
+
+    def with_selection(
+        self,
+        output_selection: str,
+        selection_threshold: Optional[int] = None,
+    ) -> "SimulationConfig":
+        """Copy of this config under a different output-selection
+        policy (see docs/SELECTION.md)."""
+        from dataclasses import replace
+
+        kwargs: Dict[str, object] = {"output_selection": output_selection}
+        if selection_threshold is not None:
+            kwargs["selection_threshold"] = selection_threshold
+        return replace(self, **kwargs)
 
     def with_faults(self, fault_plan: FaultPlan) -> "SimulationConfig":
         """Copy of this config under a different fault schedule."""

@@ -100,12 +100,13 @@ from ..observability.events import (
     TraceEvent,
 )
 from ..routing.base import RoutingAlgorithm
+from ..routing.selection.congestion import EngineCongestionView
 from ..routing.table import RoutingTable
 from ..topology.base import Topology
 from .config import SimulationConfig
 from .metrics import SimulationResult
 from .packet import ChannelHold, Packet, PacketState
-from .selection import get_input_policy, get_output_policy
+from .selection import get_input_policy, make_output_policy
 
 
 class WormholeSimulator:
@@ -132,7 +133,7 @@ class WormholeSimulator:
         self.config = config
         self.topology: Topology = algorithm.topology
         self.rng = random.Random(config.seed)
-        self.output_policy = get_output_policy(config.output_selection)
+        self.output_policy = make_output_policy(config)
         self.input_policy = get_input_policy(config.input_selection)
 
         # Dense channel indexing for the runtime state.  With virtual
@@ -198,6 +199,15 @@ class WormholeSimulator:
             self._fault_schedule = config.fault_plan.schedule()
             self.algorithm = FaultAwareRouting(algorithm, self.fault_state)
         self._retry_at: Dict[int, List[Packet]] = {}  # cycle -> retries due
+
+        # Congestion-aware output selection: bind the engine-backed
+        # view only when the configured policy asks for it, so the
+        # default xy path never builds or consults congestion state.
+        # Both engines (reference and optimised) bind the same view —
+        # and both only invoke the policy on non-empty free candidate
+        # sets — so stateful policies stay cross-engine bit-identical.
+        if getattr(self.output_policy, "uses_congestion", False):
+            self.output_policy.bind(EngineCongestionView(self))
 
         # Routing-table precomputation: the table memoises the (possibly
         # fault-masked) algorithm's candidate tuples; the pair cache

@@ -8,13 +8,26 @@ several free output channels, the *output selection policy* decides; the
 paper uses **xy** — the channel along the lowest dimension.  Alternatives
 are provided for the ablation benchmarks ([19] studies these policies in
 depth).
+
+Output selection resolves through two registries: the
+:class:`~repro.routing.selection.policies.SelectionPolicy` classes
+(``xy``, ``round-robin``, ``max-credits``, ``threshold`` — see
+docs/SELECTION.md) take precedence, and the legacy function policies
+below (``random``, ``zigzag``) fill in the rest.
+:func:`make_output_policy` is the config-driven resolver the engine
+uses; :func:`get_output_policy` keeps its historical function-only
+behaviour for the ablation benchmarks.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict, List, Sequence
 
+from ..routing.selection.policies import (
+    SELECTION_POLICIES,
+    make_selection_policy,
+)
 from ..topology.base import Direction
 from .packet import Packet
 
@@ -95,3 +108,38 @@ def get_input_policy(name: str) -> InputSelector:
             f"unknown input selection policy {name!r}; "
             f"known: {sorted(INPUT_POLICIES)}"
         ) from None
+
+
+def output_policy_names() -> List[str]:
+    """Every accepted ``output_selection`` name: the policy classes
+    plus the legacy function policies."""
+    return sorted(set(OUTPUT_POLICIES) | set(SELECTION_POLICIES))
+
+
+def input_policy_names() -> List[str]:
+    return sorted(INPUT_POLICIES)
+
+
+def make_output_policy(config) -> OutputSelector:
+    """Resolve ``config.output_selection`` to the callable the engine
+    invokes during arbitration.
+
+    Policy-class names win over the legacy table (notably ``"xy"``,
+    which resolves to a fresh
+    :class:`~repro.routing.selection.policies.XYPreference` — the same
+    choice function as the legacy ``xy`` selector, bit-identical by the
+    golden-fingerprint regression).  Each call builds a fresh instance
+    so per-run policy state (round-robin pointers) never leaks between
+    simulators.
+    """
+    name = config.output_selection
+    if name in SELECTION_POLICIES:
+        return make_selection_policy(
+            name, threshold=config.selection_threshold
+        )
+    if name in OUTPUT_POLICIES:
+        return OUTPUT_POLICIES[name]
+    raise KeyError(
+        f"unknown output selection policy {name!r}; "
+        f"known: {output_policy_names()}"
+    )

@@ -114,6 +114,7 @@ class TestCacheKey:
             "seed": 2,
             "input_selection": "random",
             "output_selection": "random",
+            "selection_threshold": 3,
             "misroute_limit": 1,
             "deadlock_threshold": 4_999,
             "queue_sample_period": 99,

@@ -1,0 +1,149 @@
+"""The selection-policy comparison harness: grid structure, pairing,
+deltas against the xy baseline, and serialization."""
+
+import json
+
+import pytest
+
+from repro.analysis.selection import (
+    BASELINE_POLICY,
+    SelectionSeries,
+    comparison_config,
+    run_selection_comparison,
+)
+
+
+def tiny_comparison(**overrides):
+    kwargs = dict(
+        topology="mesh:4x4",
+        algorithms=("west-first",),
+        patterns=("uniform",),
+        policies=("xy", "max-credits"),
+        loads=(0.5, 1.5),
+        base_config=comparison_config(warmup_cycles=50, measure_cycles=200),
+        fault_links=2,
+        fault_seed=0,
+        fault_start=60,
+    )
+    kwargs.update(overrides)
+    return run_selection_comparison(**kwargs)
+
+
+class TestGridStructure:
+    def test_cells_cover_policy_x_variant(self):
+        comparison = tiny_comparison()
+        # 2 policies x 1 algorithm x 1 pattern x 2 variants (fault-free
+        # and 2 dead links).
+        assert len(comparison.series) == 4
+        assert comparison.groups() == [
+            ("west-first", "uniform", 0),
+            ("west-first", "uniform", 2),
+        ]
+        assert comparison.policies() == ["xy", "max-credits"]
+        for series in comparison.series:
+            assert series.loads == [0.5, 1.5]
+            assert len(series.results) == 2
+            assert all(r.generated_packets > 0 for r in series.results)
+
+    def test_fault_links_zero_skips_faulted_variant(self):
+        comparison = tiny_comparison(fault_links=0)
+        assert len(comparison.series) == 2
+        assert comparison.groups() == [("west-first", "uniform", 0)]
+
+    def test_pairing_same_traffic_for_every_policy(self):
+        # Identical generation stream: the policies see the same packets,
+        # so generated counts match cell-for-cell.
+        comparison = tiny_comparison()
+        for group in comparison.groups():
+            base = comparison.cell(BASELINE_POLICY, *group)
+            other = comparison.cell("max-credits", *group)
+            assert [r.generated_packets for r in base.results] == [
+                r.generated_packets for r in other.results
+            ]
+
+    def test_baseline_xy_matches_plain_config_run(self):
+        # The "xy" cell is the default engine, byte-for-byte.
+        from repro.analysis.runner import PointSpec
+
+        comparison = tiny_comparison(fault_links=0)
+        base = comparison.cell(BASELINE_POLICY, "west-first", "uniform", 0)
+        config = comparison_config(
+            warmup_cycles=50, measure_cycles=200
+        ).with_load(0.5)
+        plain = PointSpec("mesh:4x4", "west-first", "uniform", config).execute()
+        assert base.results[0].to_dict() == plain.to_dict()
+
+
+class TestReporting:
+    def test_deltas_are_against_xy(self):
+        comparison = tiny_comparison()
+        deltas = comparison.deltas()
+        assert len(deltas) == 2  # one non-baseline policy x two groups
+        for delta in deltas:
+            assert delta["policy"] == "max-credits"
+            assert "saturation_delta_pct" in delta
+            assert "delivery_ratio_delta" in delta
+
+    def test_rows_render_every_cell(self):
+        comparison = tiny_comparison()
+        text = "\n".join(comparison.rows())
+        assert "selection-policy comparison: mesh:4x4" in text
+        assert text.count("max-credits") == 2
+        assert "2 dead link(s)" in text
+        assert "vs xy" in text
+
+    def test_to_dict_round_trips_through_json(self):
+        comparison = tiny_comparison()
+        data = json.loads(json.dumps(comparison.to_dict()))
+        assert data["topology"] == "mesh:4x4"
+        assert data["fault_links"] == 2
+        assert len(data["series"]) == 4
+        assert len(data["deltas_vs_xy"]) == 2
+        for series in data["series"]:
+            assert len(series["per_load"]) == 2
+
+
+class TestValidation:
+    def test_unknown_policy_raises_with_known_list(self):
+        with pytest.raises(ValueError, match="round-robin"):
+            tiny_comparison(policies=("xy", "mystery"))
+
+    def test_empty_policies_raises(self):
+        with pytest.raises(ValueError):
+            tiny_comparison(policies=())
+
+    def test_negative_fault_links_raises(self):
+        with pytest.raises(ValueError):
+            tiny_comparison(fault_links=-1)
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(KeyError):
+            tiny_comparison(algorithms=("mystery",))
+
+
+class TestSeriesAggregates:
+    def test_series_properties(self):
+        def result_stub(throughput, latency, sustainable, generated, delivered):
+            class R:
+                pass
+
+            r = R()
+            r.throughput_flits_per_us = throughput
+            r.avg_latency_us = latency
+            r.sustainable = sustainable
+            r.generated_packets = generated
+            r.delivered_packets = delivered
+            return r
+
+        series = SelectionSeries(
+            policy="xy", algorithm="west-first", pattern="uniform",
+            num_faults=0, loads=[0.5, 2.0],
+            results=[
+                result_stub(100.0, 1.5, True, 50, 50),
+                result_stub(250.0, 9.0, False, 200, 150),
+            ],
+        )
+        assert series.saturation_throughput == 250.0
+        assert series.max_sustainable_throughput == 100.0
+        assert series.low_load_latency_us == 1.5
+        assert series.delivery_ratio == 200 / 250

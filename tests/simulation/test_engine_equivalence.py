@@ -157,6 +157,40 @@ class TestFaultEquivalence:
         assert_equivalent("mesh:6x6", "west-first", "uniform", config)
 
 
+class TestSelectionPolicyEquivalence:
+    """The congestion-aware policies read live allocation state and the
+    stateful ones carry rotation pointers; both engines must invoke them
+    at identical decision points or the streams diverge immediately."""
+
+    @pytest.mark.parametrize(
+        "policy", ["round-robin", "max-credits", "threshold"]
+    )
+    def test_saturated_mesh(self, policy):
+        config = SimulationConfig(
+            offered_load=1.5, warmup_cycles=100, measure_cycles=400,
+            seed=3, output_selection=policy,
+        )
+        assert_equivalent("mesh:6x6", "west-first", "transpose", config)
+
+    @pytest.mark.parametrize("policy", ["max-credits", "threshold"])
+    def test_under_faults(self, policy):
+        topology = parse_topology_spec("mesh:6x6")
+        config = SimulationConfig(
+            offered_load=1.2, warmup_cycles=100, measure_cycles=500,
+            seed=5, drain_cycles=200, output_selection=policy,
+            fault_plan=FaultPlan.random_links(topology, 3, seed=4, start=150),
+            packet_timeout=300, max_retries=2,
+        )
+        assert_equivalent("mesh:6x6", "negative-first", "uniform", config)
+
+    def test_escape_vc_adaptive(self):
+        config = SimulationConfig(
+            offered_load=1.2, warmup_cycles=100, measure_cycles=400,
+            seed=6, virtual_channels=2, output_selection="max-credits",
+        )
+        assert_equivalent("mesh:5x5", "escape-vc-adaptive", "uniform", config)
+
+
 class TestObservabilityEquivalence:
     def test_collectors_on(self):
         config = SimulationConfig(

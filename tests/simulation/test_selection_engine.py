@@ -1,0 +1,210 @@
+"""Engine wiring for the selection-policy subsystem: the default path
+stays bit-identical to the pre-policy engine (golden fingerprints),
+congestion views bind only on demand, and every policy is only ever
+offered — and only ever returns — legal candidates, under faults and
+escape VCs included."""
+
+import pytest
+
+from repro.analysis.runner import make_pattern, parse_topology_spec
+from repro.faults import FaultPlan
+from repro.routing import make_algorithm
+from repro.routing.selection import (
+    MaxFreeCredits,
+    ThresholdReroute,
+    XYPreference,
+)
+from repro.simulation import SimulationConfig, WormholeSimulator
+
+# The same golden operating points that pin the fault subsystem's
+# zero-fault bit-identity (tests/faults/test_fault_injection.py).
+# Selecting the "xy" policy explicitly must reproduce them exactly:
+# XYPreference is the old inline min() rule, draws no RNG, and binds
+# no congestion view.
+GOLDEN = [
+    (
+        "mesh:8x8", "west-first", "uniform",
+        dict(offered_load=1.2, seed=3, warmup_cycles=500,
+             measure_cycles=2_000),
+        (71, 65, 7870, 10641, 9666, 343, 0, 218, 6),
+    ),
+    (
+        "mesh:8x8", "xy", "transpose",
+        dict(offered_load=0.8, seed=11, warmup_cycles=400,
+             measure_cycles=1_500),
+        (37, 36, 3400, 4860, 4242, 212, 0, 213, 1),
+    ),
+    (
+        "cube:6", "p-cube", "uniform",
+        dict(offered_load=2.0, seed=5, warmup_cycles=300,
+             measure_cycles=1_200),
+        (57, 51, 6780, 8251, 7511, 160, 0, 222, 6),
+    ),
+    (
+        "torus:6x2", "negative-first-torus", "uniform",
+        dict(offered_load=0.6, seed=9, warmup_cycles=300,
+             measure_cycles=1_200, virtual_channels=2),
+        (14, 14, 520, 564, 564, 58, 8, 1, 0),
+    ),
+]
+
+FINGERPRINT_FIELDS = (
+    "generated_packets", "delivered_packets", "delivered_flits",
+    "total_latency_cycles", "total_net_latency_cycles", "total_hops",
+    "total_misroutes", "max_grant_wait_cycles", "inflight_at_end",
+)
+
+
+def build_sim(topo_spec, algorithm, pattern, overrides):
+    topology = parse_topology_spec(topo_spec)
+    config = SimulationConfig(**overrides)
+    return WormholeSimulator(
+        make_algorithm(algorithm, topology),
+        make_pattern(pattern, topology),
+        config,
+    )
+
+
+class TestDefaultPathBitIdentity:
+    @pytest.mark.parametrize(
+        "topo_spec,algorithm,pattern,overrides,expected", GOLDEN
+    )
+    def test_explicit_xy_policy_matches_golden_fingerprint(
+        self, topo_spec, algorithm, pattern, overrides, expected
+    ):
+        sim = build_sim(
+            topo_spec, algorithm, pattern,
+            dict(overrides, output_selection="xy"),
+        )
+        # The policy-class registry resolves "xy" to XYPreference with
+        # no congestion view bound — the zero-cost default path.
+        assert isinstance(sim.output_policy, XYPreference)
+        assert sim.output_policy.view is None
+        result = sim.run()
+        fingerprint = tuple(
+            getattr(result, name) for name in FINGERPRINT_FIELDS
+        )
+        assert fingerprint == expected
+
+
+class TestCongestionBinding:
+    def test_congestion_policy_gets_engine_view(self):
+        sim = build_sim(
+            "mesh:4x4", "west-first", "uniform",
+            dict(offered_load=0.5, warmup_cycles=10, measure_cycles=10,
+                 output_selection="max-credits"),
+        )
+        assert isinstance(sim.output_policy, MaxFreeCredits)
+        assert sim.output_policy.view is not None
+
+    def test_threshold_knob_reaches_the_policy(self):
+        sim = build_sim(
+            "mesh:4x4", "west-first", "uniform",
+            dict(offered_load=0.5, warmup_cycles=10, measure_cycles=10,
+                 output_selection="threshold", selection_threshold=5),
+        )
+        assert isinstance(sim.output_policy, ThresholdReroute)
+        assert sim.output_policy.threshold == 5
+
+    def test_fresh_policy_per_simulator(self):
+        overrides = dict(
+            offered_load=0.5, warmup_cycles=10, measure_cycles=10,
+            output_selection="round-robin",
+        )
+        a = build_sim("mesh:4x4", "west-first", "uniform", overrides)
+        b = build_sim("mesh:4x4", "west-first", "uniform", overrides)
+        assert a.output_policy is not b.output_policy
+
+
+class _LegalitySpy:
+    """Wraps the engine's output policy: every invocation must offer a
+    non-empty subset of the algorithm's legal (or escape) candidates,
+    and the policy must pick from what it was offered."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.inner = sim.output_policy
+        self.decisions = 0
+        sim.output_policy = self
+
+    # The engine only reads ``uses_congestion`` at construction time,
+    # so forwarding the live attributes is enough for the hot loop.
+    def __call__(self, options, packet, rng):
+        sim = self.sim
+        assert options, "policy invoked with an empty candidate set"
+        node, dest = packet.head_node, packet.dst
+        in_direction = packet.head_direction
+        if sim.num_vc == 1:
+            legal = set(sim.algorithm.candidates(node, dest, in_direction))
+            legal |= set(
+                sim.algorithm.escape_candidates(node, dest, in_direction)
+            )
+        else:
+            in_vc = packet.head_vc
+            legal = {
+                d for d, _ in sim.algorithm.vc_candidates(
+                    node, dest, in_direction, in_vc, sim.num_vc
+                )
+            }
+            legal |= {
+                d for d, _ in sim.algorithm.vc_escape_candidates(
+                    node, dest, in_direction, in_vc, sim.num_vc
+                )
+            }
+        assert set(options) <= legal, (
+            f"offered {options} outside legal set {legal} at node {node}"
+        )
+        choice = self.inner(options, packet, rng)
+        assert choice in options, (
+            f"{self.inner!r} returned {choice} not in {options}"
+        )
+        self.decisions += 1
+        return choice
+
+
+SPY_CASES = [
+    # (label, topo, algorithm, pattern, extra config)
+    ("fault-free", "mesh:6x6", "west-first", "transpose", {}),
+    (
+        "fault-masked",
+        "mesh:6x6", "negative-first", "uniform",
+        dict(fault_links=6),
+    ),
+    (
+        "escape-vc",
+        "torus:6x2", "negative-first-torus", "uniform",
+        dict(virtual_channels=2),
+    ),
+]
+
+
+@pytest.mark.parametrize("policy", ["xy", "round-robin", "max-credits", "threshold"])
+@pytest.mark.parametrize(
+    "label,topo_spec,algorithm,pattern,extra",
+    SPY_CASES, ids=[c[0] for c in SPY_CASES],
+)
+def test_policies_only_choose_legal_candidates(
+    label, topo_spec, algorithm, pattern, extra, policy
+):
+    extra = dict(extra)
+    fault_links = extra.pop("fault_links", 0)
+    topology = parse_topology_spec(topo_spec)
+    overrides = dict(
+        offered_load=1.5, seed=2, warmup_cycles=100, measure_cycles=400,
+        output_selection=policy, **extra,
+    )
+    if fault_links:
+        overrides["fault_plan"] = FaultPlan.random_links(
+            topology, fault_links, seed=4, start=50
+        )
+        overrides["packet_timeout"] = 300
+        overrides["max_retries"] = 1
+    config = SimulationConfig(**overrides)
+    sim = WormholeSimulator(
+        make_algorithm(algorithm, topology),
+        make_pattern(pattern, topology),
+        config,
+    )
+    spy = _LegalitySpy(sim)
+    sim.run()
+    assert spy.decisions > 0, "spy never saw a routing decision"

@@ -309,6 +309,94 @@ class TestRobustnessFlagValidation:
         assert "xy" in capsys.readouterr().out
 
 
+class TestSelectionFlags:
+    def test_unknown_policy_rejected_with_valid_list(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "xy", "--selection", "bogus"])
+        assert excinfo.value.code == 2  # argparse usage error
+        err = capsys.readouterr().err
+        assert "invalid choice" in err and "bogus" in err
+        # The error names every valid policy.
+        for name in ("max-credits", "round-robin", "threshold", "xy"):
+            assert name in err
+
+    def test_help_documents_the_selection_flag(self, capsys):
+        for command in ("simulate", "sweep", "figure", "faults", "trace"):
+            with pytest.raises(SystemExit) as excinfo:
+                main([command, "--help"])
+            assert excinfo.value.code == 0
+            out = capsys.readouterr().out
+            assert "--selection" in out, f"{command} --help lacks --selection"
+            assert "--selection-threshold" in out
+
+    def test_negative_selection_threshold_exits(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "xy", "--selection-threshold", "-1"])
+
+    def test_simulate_with_congestion_policy(self, capsys):
+        code = main(
+            [
+                "simulate", "west-first",
+                "--topology", "mesh:4x4",
+                "--pattern", "transpose",
+                "--load", "1.0",
+                "--warmup", "100",
+                "--cycles", "400",
+                "--selection", "max-credits",
+            ]
+        )
+        assert code == 0
+        assert "west-first" in capsys.readouterr().out
+
+    def test_list_shows_selection_policies(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "selection" in out and "max-credits" in out
+
+
+class TestSelectionCommand:
+    TINY = [
+        "selection",
+        "--topology", "mesh:4x4",
+        "--algorithms", "west-first",
+        "--patterns", "uniform",
+        "--policies", "xy,max-credits",
+        "--loads", "0.5,1.5",
+        "--warmup", "50",
+        "--cycles", "200",
+        "--fault-links", "0",
+        "--no-cache",
+    ]
+
+    def test_text_report(self, capsys):
+        assert main(list(self.TINY)) == 0
+        out = capsys.readouterr().out
+        assert "selection-policy comparison: mesh:4x4" in out
+        assert "max-credits" in out and "vs xy" in out
+
+    def test_json_report(self, capsys):
+        assert main(list(self.TINY) + ["--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["topology"] == "mesh:4x4"
+        assert data["fault_links"] == 0
+        assert {s["policy"] for s in data["series"]} == {"xy", "max-credits"}
+        assert data["deltas_vs_xy"][0]["policy"] == "max-credits"
+
+    def test_unknown_policy_exits_listing_known(self, capsys):
+        argv = list(self.TINY)
+        argv[argv.index("xy,max-credits")] = "xy,mystery"
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert "mystery" in str(excinfo.value)
+        assert "round-robin" in str(excinfo.value)
+
+    def test_bad_loads_exits(self):
+        argv = list(self.TINY)
+        argv[argv.index("0.5,1.5")] = "0.5,x"
+        with pytest.raises(SystemExit):
+            main(argv)
+
+
 class TestBenchCommand:
     def _patch_tiny_points(self, monkeypatch):
         import repro.cli as cli
