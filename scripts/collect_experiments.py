@@ -10,11 +10,20 @@ fans the operating points over N worker processes, and the on-disk
 result cache makes re-collection after an interruption (or a doc-only
 change) close to free.  See docs/PERFORMANCE.md.
 
+Long collections survive worker trouble with the supervision knobs
+(docs/RESILIENCE.md): ``--point-timeout``/``--max-point-retries`` bound
+and retry misbehaving points, ``--keep-going`` finishes the collection
+around permanent failures, and ``--journal``/``--resume`` checkpoint
+completed points so a killed collection picks up where it left off.
+
 Run:  python scripts/collect_experiments.py [outfile] [--jobs N]
           [--no-cache] [--cache-dir DIR] [--force]
+          [--point-timeout S] [--max-point-retries N] [--keep-going]
+          [--journal PATH] [--resume]
 """
 
 import argparse
+import sys
 import time
 
 from repro.analysis import (
@@ -66,6 +75,41 @@ def parse_args():
     parser.add_argument("--no-cache", dest="cache", action="store_false")
     parser.add_argument("--cache-dir", default=None)
     parser.add_argument("--force", action="store_true")
+    parser.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        help="wall-clock budget per point before the worker is killed",
+    )
+    parser.add_argument(
+        "--max-point-retries",
+        type=int,
+        default=0,
+        help="re-dispatch attempts per crashed/hung/raising point",
+    )
+    parser.add_argument(
+        "--keep-going",
+        dest="keep_going",
+        action="store_true",
+        default=False,
+        help="finish the collection around permanently failed points",
+    )
+    parser.add_argument(
+        "--fail-fast",
+        dest="keep_going",
+        action="store_false",
+        help="abort on the first permanent failure (default)",
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        help="JSONL campaign journal checkpointing completed points",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip points already recorded in --journal",
+    )
     return parser.parse_args()
 
 
@@ -76,6 +120,11 @@ def main() -> None:
         jobs=args.jobs,
         cache=ResultCache(args.cache_dir) if args.cache else None,
         force=args.force,
+        point_timeout=args.point_timeout,
+        max_point_retries=args.max_point_retries,
+        keep_going=args.keep_going,
+        journal=args.journal,
+        resume=args.resume,
     )
     sections = []
     t0 = time.time()
@@ -117,6 +166,16 @@ def main() -> None:
     with open(out_path, "w") as fh:
         fh.write(report)
     print(f"\nwritten to {out_path}")
+    if runner.failures:
+        print(
+            f"{len(runner.failures)} point(s) permanently failed:",
+            file=sys.stderr,
+        )
+        for failure in runner.failures:
+            print(f"  {failure.describe()}", file=sys.stderr)
+        runner.close()
+        sys.exit(3)
+    runner.close()
 
 
 if __name__ == "__main__":

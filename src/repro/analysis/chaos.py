@@ -1,0 +1,154 @@
+"""Deterministic chaos harness for the supervised execution layer.
+
+The engine's fault tolerance is proven by *injecting* faults
+(:mod:`repro.faults`); the harness's fault tolerance is proven the same
+way.  :class:`ChaosPointSpec` is a :class:`~repro.analysis.runner.
+PointSpec` whose **worker-side execution misbehaves on purpose** — it
+crashes the worker process outright (``os._exit``, simulating an OOM
+kill), hangs (simulating a wedged point), raises, or runs the real
+simulation — with the behaviour chosen *deterministically* from a chaos
+seed and the point's identity.  Re-running the same chaos campaign
+reproduces exactly the same failure pattern, which is what lets the
+test suite and the CI ``chaos`` job assert hard guarantees:
+
+* every healthy point of a chaos campaign is bit-identical to a clean
+  serial run of the underlying specs;
+* every unhealthy point is accounted for in the failure manifest with
+  the right cause;
+* a campaign killed mid-flight and resumed from its journal re-executes
+  only the points not yet journaled.
+
+A misbehaving point stops misbehaving after ``fail_attempts`` attempts,
+so retry coverage can distinguish "transiently sick" (recovered by the
+supervisor's retry) from "permanently broken" (exhausts attempts and
+lands in the manifest).  When it does succeed, it returns the *same*
+:class:`~repro.simulation.metrics.SimulationResult` the plain spec
+would — chaos perturbs the execution harness, never the simulation.
+
+See docs/RESILIENCE.md for the harness's role in the chaos CI job.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..simulation.metrics import SimulationResult
+from .runner import PointSpec
+
+CHAOS_MODES = ("crash", "hang", "exception")
+
+
+class ChaosError(RuntimeError):
+    """The deliberate exception a chaos point raises."""
+
+
+@dataclass(frozen=True)
+class ChaosPointSpec(PointSpec):
+    """A :class:`PointSpec` that misbehaves deterministically.
+
+    The misbehaviour (or lack of it) is a pure function of
+    ``chaos_seed`` and the point's identity, so a chaos campaign is as
+    reproducible as a clean one.  Attempts numbered above
+    ``fail_attempts`` run the real simulation, letting retry tests
+    exercise recovery; ``fail_attempts`` of ``10**9`` (effectively
+    infinite) makes the point permanently sick.
+    """
+
+    chaos_seed: int = 0
+    """Campaign-level seed the per-point behaviour derives from."""
+
+    failure_rate: float = 0.1
+    """Fraction of points that misbehave (approximately; per-point
+    Bernoulli on the derived RNG)."""
+
+    fail_attempts: int = 1
+    """Attempts 1..fail_attempts misbehave; later attempts succeed."""
+
+    hang_seconds: float = 3600.0
+    """How long a ``hang`` point sleeps (far above any sane
+    point-timeout; the supervisor is expected to kill it)."""
+
+    def chaos_mode(self) -> Optional[str]:
+        """The deterministic behaviour of this point: ``None`` (run the
+        real simulation) or one of :data:`CHAOS_MODES`."""
+        rng = random.Random(
+            f"{self.chaos_seed}:{self.topology}:{self.algorithm}:"
+            f"{self.pattern}:{self.config.stable_hash()}"
+        )
+        if rng.random() >= self.failure_rate:
+            return None
+        return rng.choice(CHAOS_MODES)
+
+    def execute_attempt(self, attempt: int) -> SimulationResult:
+        """Worker entry point: misbehave if this point and attempt are
+        chosen, else run the real simulation."""
+        mode = self.chaos_mode()
+        if mode is not None and attempt <= self.fail_attempts:
+            if mode == "crash":
+                # Simulates an OOM kill: the process vanishes without
+                # unwinding, flushing, or reporting anything.
+                os._exit(13)
+            if mode == "hang":
+                deadline = time.monotonic() + self.hang_seconds
+                while time.monotonic() < deadline:
+                    time.sleep(min(1.0, deadline - time.monotonic()))
+                # Fall through if somehow never killed: still succeed.
+            else:
+                raise ChaosError(
+                    f"injected failure (seed {self.chaos_seed}) for "
+                    f"{self.algorithm}/{self.pattern}@"
+                    f"{self.config.offered_load:g}"
+                )
+        return PointSpec.execute(self)
+
+    def execute(self) -> SimulationResult:
+        return self.execute_attempt(1)
+
+    def clean(self) -> PointSpec:
+        """The underlying well-behaved spec (same simulation)."""
+        return PointSpec(
+            topology=self.topology,
+            algorithm=self.algorithm,
+            pattern=self.pattern,
+            config=self.config,
+        )
+
+    def to_dict(self):
+        # The chaos knobs enter the spec dict — and therefore the
+        # result-cache key and journal identity — so a chaos campaign
+        # can never be served results cached under a different chaos
+        # configuration, and vice versa.
+        payload = super().to_dict()
+        payload["chaos"] = {
+            "seed": self.chaos_seed,
+            "failure_rate": self.failure_rate,
+            "fail_attempts": self.fail_attempts,
+        }
+        return payload
+
+
+def chaos_batch(
+    specs: Sequence[PointSpec],
+    chaos_seed: int = 0,
+    failure_rate: float = 0.1,
+    fail_attempts: int = 1,
+    hang_seconds: float = 3600.0,
+) -> List[ChaosPointSpec]:
+    """Wrap a batch of plain specs in chaos harnesses."""
+    return [
+        ChaosPointSpec(
+            topology=spec.topology,
+            algorithm=spec.algorithm,
+            pattern=spec.pattern,
+            config=spec.config,
+            chaos_seed=chaos_seed,
+            failure_rate=failure_rate,
+            fail_attempts=fail_attempts,
+            hang_seconds=hang_seconds,
+        )
+        for spec in specs
+    ]

@@ -67,19 +67,32 @@ def plan_seed(campaign_seed: int, num_faults: int, trial: int) -> int:
 
 @dataclass
 class FaultCell:
-    """One (algorithm, fault count) cell: its trials' results."""
+    """One (algorithm, fault count) cell: its trials' results.
+
+    Under the runner's ``keep_going`` mode a trial lost to a worker
+    failure leaves ``None`` in :attr:`results`; the aggregates below
+    skip the holes (the cell then summarises the trials that completed,
+    and :attr:`lost_trials` says how many did not)."""
 
     algorithm: str
     num_faults: int
-    results: List[SimulationResult]
+    results: List[Optional[SimulationResult]]
+
+    def completed(self) -> List[SimulationResult]:
+        return [r for r in self.results if r is not None]
+
+    @property
+    def lost_trials(self) -> int:
+        """Trials whose worker permanently failed (keep_going holes)."""
+        return sum(1 for r in self.results if r is None)
 
     @property
     def generated(self) -> int:
-        return sum(r.generated_packets for r in self.results)
+        return sum(r.generated_packets for r in self.completed())
 
     @property
     def delivered(self) -> int:
-        return sum(r.delivered_packets for r in self.results)
+        return sum(r.delivered_packets for r in self.completed())
 
     @property
     def delivery_ratio(self) -> float:
@@ -91,25 +104,26 @@ class FaultCell:
         delivered = self.delivered
         if delivered == 0:
             return None
-        cycles = sum(r.total_latency_cycles for r in self.results)
-        return cycles / delivered * self.results[0].cycle_time_us
+        completed = self.completed()
+        cycles = sum(r.total_latency_cycles for r in completed)
+        return cycles / delivered * completed[0].cycle_time_us
 
     @property
     def dropped(self) -> int:
-        return sum(r.dropped_packets for r in self.results)
+        return sum(r.dropped_packets for r in self.completed())
 
     @property
     def killed(self) -> int:
-        return sum(r.killed_packets for r in self.results)
+        return sum(r.killed_packets for r in self.completed())
 
     @property
     def retried(self) -> int:
-        return sum(r.retried_packets for r in self.results)
+        return sum(r.retried_packets for r in self.completed())
 
     @property
     def drops_by_cause(self) -> Dict[str, int]:
         merged: Dict[str, int] = {}
-        for r in self.results:
+        for r in self.completed():
             for cause, count in r.drops_by_cause.items():
                 merged[cause] = merged.get(cause, 0) + count
         return {cause: merged[cause] for cause in sorted(merged)}
@@ -126,6 +140,7 @@ class FaultCell:
             "killed": self.killed,
             "retried": self.retried,
             "drops_by_cause": self.drops_by_cause,
+            "lost_trials": self.lost_trials,
         }
 
 

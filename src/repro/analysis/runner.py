@@ -15,28 +15,43 @@ the sweep/saturation/figure harnesses route through:
   deterministic content hash of the point spec plus the package version.
   Re-running a figure with an unchanged configuration is instant.
 * :class:`ParallelSweepRunner` — fans a batch of specs out over a
-  ``multiprocessing`` pool (or runs them inline for ``jobs=1``), serves
+  supervised worker pool (or runs them inline for ``jobs=1``), serves
   cache hits, records wall-clock/points-per-second statistics, and
   invokes a per-point progress callback as results arrive.
+
+Batches execute under the supervision layer of
+:mod:`repro.analysis.supervision` (docs/RESILIENCE.md): worker crashes,
+hangs, and exceptions become structured :class:`~repro.analysis.
+supervision.PointFailure` records instead of lost campaigns, failed
+points retry with bounded backoff, ``keep_going`` mode delivers every
+healthy point of a partially-failing batch, and an optional JSONL
+:class:`~repro.analysis.supervision.CampaignJournal` checkpoints each
+completed point so an interrupted campaign resumes where it stopped.
 
 Because every point simulates with its own private RNG seeded from the
 config, parallel execution is bit-identical to the serial path: the same
 spec always produces the same :class:`SimulationResult`, regardless of
-worker count or completion order.
+worker count, completion order, or how many times a point was retried.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import multiprocessing
 import os
 import pickle
 import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .supervision import (
+    BatchReport,
+    CampaignJournal,
+    PointFailure,
+    SupervisedPool,
+)
 
 from ..routing.base import RoutingAlgorithm
 from ..routing.registry import make_algorithm
@@ -327,7 +342,13 @@ class ResultCache:
         return path
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry; returns the number removed.
+
+        Also sweeps up orphaned ``*.tmp`` files left behind by writers
+        that crashed between ``mkstemp`` and the atomic rename (they
+        are invisible to :meth:`__len__` and would otherwise accumulate
+        forever) and prunes shard directories the sweep left empty.
+        """
         removed = 0
         if not self.root.exists():
             return removed
@@ -337,6 +358,17 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        for orphan in self.root.glob("*/*.tmp"):
+            try:
+                orphan.unlink()
+            except OSError:
+                pass
+        for shard in self.root.iterdir():
+            if shard.is_dir():
+                try:
+                    shard.rmdir()  # only succeeds when empty
+                except OSError:
+                    pass
         return removed
 
     def __len__(self) -> int:
@@ -350,18 +382,14 @@ class ResultCache:
 # ---------------------------------------------------------------------------
 
 
-def _execute_indexed(item: Tuple[int, PointSpec]) -> Tuple[int, SimulationResult]:
-    """Pool worker: run one spec, tagging the result with its index."""
-    index, spec = item
-    return index, spec.execute()
-
-
 @dataclass
 class RunnerStats:
     """Cumulative accounting across a runner's batches."""
 
     executed: int = 0
     cached: int = 0
+    failed: int = 0
+    retried: int = 0
     wall_seconds: float = 0.0
 
     @property
@@ -375,30 +403,68 @@ class RunnerStats:
         return self.points / self.wall_seconds
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.wall_seconds:.1f}s wall, {self.points} points "
             f"({self.executed} simulated, {self.cached} cached), "
             f"{self.points_per_second:.1f} points/s"
         )
+        if self.failed or self.retried:
+            text += (
+                f", {self.failed} failed, {self.retried} retried attempt(s)"
+            )
+        return text
 
 
 class ParallelSweepRunner:
-    """Executes batches of :class:`PointSpec` with workers and a cache.
+    """Executes batches of :class:`PointSpec` with supervised workers
+    and a cache.
 
     Parameters
     ----------
     jobs:
         Worker processes; ``None`` means one per CPU, ``1`` runs every
-        point inline in the calling process (no pool).
+        point inline in the calling process (no pool) unless a
+        supervision knob below forces a worker anyway.
     cache:
         A :class:`ResultCache`, a directory path to open one at, or
         ``None`` to disable caching entirely.
     force:
         Ignore cached entries (results are still written back, so a
-        forced run refreshes the cache).
+        forced run refreshes the cache).  Points a resumed journal
+        marks done are exempt — resuming never redoes finished work.
     progress:
         Called with each :class:`SimulationResult` as it becomes
         available (cache hits included).  Runs in the parent process.
+    point_timeout:
+        Per-point wall-clock limit in seconds; a worker past it is
+        killed and the point counts as a ``timeout`` attempt.  ``None``
+        (the default) disables the watchdog.
+    max_point_retries:
+        Extra attempts granted to a crashed/hung/raising point before
+        it becomes a permanent :class:`PointFailure` (default 0).
+    keep_going:
+        When True a permanently failed point yields ``None`` in the
+        batch results (and a manifest entry in :attr:`failures`)
+        instead of aborting the batch.  The default ``fail_fast``
+        behaviour raises :class:`~repro.analysis.supervision.
+        PointExecutionError` on the first permanent failure.
+    retry_backoff_base / retry_backoff_cap:
+        Bounded exponential backoff (seconds) between a point's
+        attempts; see :class:`~repro.analysis.supervision.
+        SupervisedPool`.
+    journal:
+        A :class:`~repro.analysis.supervision.CampaignJournal`, or a
+        path to open one at, checkpointing each completed point's cache
+        key (fsynced, SIGKILL-safe).  ``resume`` controls whether an
+        existing file is continued or truncated.
+    resume:
+        With a journal: load previously completed points and serve them
+        from the cache instead of re-executing (requires a cache).
+
+    Any of ``point_timeout``/``max_point_retries``/``keep_going``/
+    ``journal`` engages supervision; without them (and with the
+    caller's historical ``jobs``/``cache`` usage) execution follows the
+    original zero-overhead path and is bit-identical to it.
     """
 
     def __init__(
@@ -407,18 +473,62 @@ class ParallelSweepRunner:
         cache: Optional[object] = None,
         force: bool = False,
         progress: Optional[ProgressCallback] = None,
+        point_timeout: Optional[float] = None,
+        max_point_retries: int = 0,
+        keep_going: bool = False,
+        retry_backoff_base: float = 0.5,
+        retry_backoff_cap: float = 30.0,
+        journal: Optional[Union[CampaignJournal, os.PathLike, str]] = None,
+        resume: bool = False,
     ) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
+        if point_timeout is not None and point_timeout <= 0:
+            raise ValueError("point_timeout must be positive (or None)")
+        if max_point_retries < 0:
+            raise ValueError("max_point_retries must be non-negative")
         self.jobs = jobs
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache: Optional[ResultCache] = cache
         self.force = force
         self.progress = progress
+        self.point_timeout = point_timeout
+        self.max_point_retries = max_point_retries
+        self.keep_going = keep_going
+        self.retry_backoff_base = retry_backoff_base
+        self.retry_backoff_cap = retry_backoff_cap
+        if resume and journal is None:
+            raise ValueError("resume requires a journal")
+        if resume and cache is None:
+            raise ValueError(
+                "resume requires the result cache (journaled points are "
+                "served from it)"
+            )
+        if journal is not None and not isinstance(journal, CampaignJournal):
+            journal = CampaignJournal(journal, resume=resume)
+        self.journal: Optional[CampaignJournal] = journal
+        self.resume = resume
         self.stats = RunnerStats()
+        self.failures: List[PointFailure] = []
+
+    @property
+    def supervised(self) -> bool:
+        """Whether any supervision feature is engaged (timeout, retry,
+        keep_going, or journal)."""
+        return (
+            self.point_timeout is not None
+            or self.max_point_retries > 0
+            or self.keep_going
+            or self.journal is not None
+        )
+
+    def close(self) -> None:
+        """Close the campaign journal, if any."""
+        if self.journal is not None:
+            self.journal.close()
 
     def run_point(
         self, spec: PointSpec, progress: Optional[ProgressCallback] = None
@@ -432,53 +542,124 @@ class ParallelSweepRunner:
     ) -> List[SimulationResult]:
         """Run a batch, returning results in spec order.
 
-        Cache hits are served first; misses fan out over the worker pool
-        (inline for ``jobs=1``).  Results are bit-identical to running
-        each spec serially because every simulation owns a private RNG
-        seeded from its config.
+        Under ``keep_going`` a permanently failed point leaves ``None``
+        at its position (the downstream aggregators all tolerate the
+        holes); otherwise a failure raises and no list is returned.
+        Use :meth:`run_batch` to also get the failure manifest.
+        """
+        return self.run_batch(specs, progress=progress).results  # type: ignore[return-value]
+
+    def run_batch(
+        self,
+        specs: Sequence[PointSpec],
+        progress: Optional[ProgressCallback] = None,
+    ) -> BatchReport:
+        """Run a batch, returning spec-ordered results plus the failure
+        manifest.
+
+        Cache hits (and, when resuming, journaled points) are served
+        first; the rest fan out over the supervised worker pool (inline
+        for ``jobs=1`` without supervision).  Results are bit-identical
+        to running each spec serially because every simulation owns a
+        private RNG seeded from its config.  Wall-clock and point
+        accounting are committed even when the batch dies mid-flight.
         """
         report = progress if progress is not None else self.progress
         started = time.perf_counter()
         results: List[Optional[SimulationResult]] = [None] * len(specs)
-        pending: List[int] = []
+        batch_failures: List[PointFailure] = []
+        try:
+            pending: List[int] = []
+            for i, spec in enumerate(specs):
+                hit = None
+                if self.cache is not None:
+                    journaled = (
+                        self.resume
+                        and self.journal is not None
+                        and self.journal.done(spec.cache_key())
+                    )
+                    if journaled or not self.force:
+                        hit = self.cache.get(spec)
+                if hit is not None:
+                    results[i] = hit
+                    self.stats.cached += 1
+                    if self.journal is not None:
+                        self.journal.record_point(
+                            spec.cache_key(), cached=True
+                        )
+                    if report is not None:
+                        report(hit)
+                else:
+                    pending.append(i)
 
-        for i, spec in enumerate(specs):
-            hit = None
-            if self.cache is not None and not self.force:
-                hit = self.cache.get(spec)
-            if hit is not None:
-                results[i] = hit
-                self.stats.cached += 1
-                if report is not None:
-                    report(hit)
-            else:
-                pending.append(i)
+            if not pending:
+                return BatchReport(results, batch_failures)
 
-        if self.jobs == 1 or len(pending) == 1:
-            for i in pending:
-                results[i] = specs[i].execute()
-                self._record(specs[i], results[i], report)
-        elif pending:
-            workers = min(self.jobs, len(pending))
-            with multiprocessing.Pool(processes=workers) as pool:
-                indexed = [(i, specs[i]) for i in pending]
-                for i, result in pool.imap_unordered(
-                    _execute_indexed, indexed, chunksize=1
-                ):
-                    results[i] = result
-                    self._record(specs[i], result, report)
+            if not self.supervised and (self.jobs == 1 or len(pending) == 1):
+                for i in pending:
+                    results[i] = specs[i].execute()
+                    self._record(specs[i], results[i], report)
+                return BatchReport(results, batch_failures)
 
-        self.stats.wall_seconds += time.perf_counter() - started
-        return results  # type: ignore[return-value]
+            pool = SupervisedPool(
+                workers=min(self.jobs, len(pending)),
+                point_timeout=self.point_timeout,
+                max_retries=self.max_point_retries,
+                retry_backoff_base=self.retry_backoff_base,
+                retry_backoff_cap=self.retry_backoff_cap,
+            )
+
+            def on_point(index, result, attempts, duration):
+                results[index] = result
+                self._record(
+                    specs[index],
+                    result,
+                    report,
+                    attempts=attempts,
+                    duration=duration,
+                )
+
+            def on_failure(failure):
+                batch_failures.append(failure)
+                self.failures.append(failure)
+                self.stats.failed += 1
+                if self.journal is not None:
+                    self.journal.record_failure(failure)
+
+            def on_retry(index, cause, attempt):
+                self.stats.retried += 1
+
+            pool.run(
+                [(i, specs[i]) for i in pending],
+                keep_going=self.keep_going,
+                on_point=on_point,
+                on_failure=on_failure,
+                on_retry=on_retry,
+            )
+        finally:
+            # Committed even when a worker/progress callback raises or
+            # the batch is interrupted: completed points stay counted.
+            self.stats.wall_seconds += time.perf_counter() - started
+        batch_failures.sort(key=lambda f: f.index)
+        return BatchReport(results, batch_failures)
 
     def _record(
         self,
         spec: PointSpec,
         result: SimulationResult,
         report: Optional[ProgressCallback],
+        attempts: int = 1,
+        duration: float = 0.0,
     ) -> None:
+        # Accounting, cache, and journal all commit before the progress
+        # callback runs: a raising callback can abort the batch, but it
+        # can never lose a completed point.
         self.stats.executed += 1
         if self.cache is not None:
             self.cache.put(spec, result)
+        if self.journal is not None:
+            self.journal.record_point(
+                spec.cache_key(), attempts=attempts, duration=duration
+            )
         if report is not None:
             report(result)

@@ -37,8 +37,10 @@ class SaturationPoint:
     probes: int
 
 
-def _sustainable(result: SimulationResult) -> bool:
-    return result.sustainable
+def _sustainable(result: Optional[SimulationResult]) -> bool:
+    # A probe lost to a worker failure under keep_going counts as
+    # unsustainable: the bisection stays conservative (docs/RESILIENCE.md).
+    return result is not None and result.sustainable
 
 
 class _Search:

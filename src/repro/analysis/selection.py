@@ -60,24 +60,34 @@ def comparison_config(
 
 @dataclass
 class SelectionSeries:
-    """One (policy, algorithm, pattern, fault count) load sweep."""
+    """One (policy, algorithm, pattern, fault count) load sweep.
+
+    Under the runner's ``keep_going`` mode a load point lost to a
+    worker failure leaves ``None`` in :attr:`results`; the aggregates
+    below skip the holes (docs/RESILIENCE.md)."""
 
     policy: str
     algorithm: str
     pattern: str
     num_faults: int
     loads: List[float]
-    results: List[SimulationResult]
+    results: List[Optional[SimulationResult]]
+
+    def completed(self) -> List[SimulationResult]:
+        return [r for r in self.results if r is not None]
 
     @property
     def saturation_throughput(self) -> float:
         """Delivered throughput (flits/us) at the highest offered load
         — the classic saturation comparison point."""
-        return self.results[-1].throughput_flits_per_us
+        for r in reversed(self.results):
+            if r is not None:
+                return r.throughput_flits_per_us
+        return 0.0
 
     @property
     def max_sustainable_throughput(self) -> float:
-        sustainable = [r for r in self.results if r.sustainable]
+        sustainable = [r for r in self.completed() if r.sustainable]
         return max(
             (r.throughput_flits_per_us for r in sustainable), default=0.0
         )
@@ -85,12 +95,14 @@ class SelectionSeries:
     @property
     def low_load_latency_us(self) -> Optional[float]:
         """Average latency at the lowest offered load."""
+        if not self.results or self.results[0] is None:
+            return None
         return self.results[0].avg_latency_us
 
     @property
     def delivery_ratio(self) -> float:
-        generated = sum(r.generated_packets for r in self.results)
-        delivered = sum(r.delivered_packets for r in self.results)
+        generated = sum(r.generated_packets for r in self.completed())
+        delivered = sum(r.delivered_packets for r in self.completed())
         return delivered / generated if generated else 1.0
 
     def to_dict(self) -> Dict[str, object]:
@@ -106,7 +118,9 @@ class SelectionSeries:
             "low_load_latency_us": self.low_load_latency_us,
             "delivery_ratio": self.delivery_ratio,
             "per_load": [
-                {
+                {"failed": True}
+                if r is None
+                else {
                     "offered_load": r.offered_load,
                     "throughput_flits_per_us": r.throughput_flits_per_us,
                     "avg_latency_us": r.avg_latency_us,

@@ -20,20 +20,30 @@ from .runner import ParallelSweepRunner, PointSpec, point_spec
 
 @dataclass
 class SweepSeries:
-    """One algorithm's latency/throughput curve under one pattern."""
+    """One algorithm's latency/throughput curve under one pattern.
+
+    Under the runner's ``keep_going`` mode a permanently failed point
+    leaves ``None`` at its position (docs/RESILIENCE.md); every
+    aggregate here skips the holes and :meth:`rows` marks them.
+    """
 
     algorithm: str
     pattern: str
-    results: List[SimulationResult]
+    results: List[Optional[SimulationResult]]
+
+    def completed_results(self) -> List[SimulationResult]:
+        """The results that were actually delivered (no ``None`` holes)."""
+        return [r for r in self.results if r is not None]
 
     def points(self) -> List[Tuple[float, Optional[float]]]:
         """(delivered throughput in flits/us, avg latency in us) pairs."""
         return [
-            (r.throughput_flits_per_us, r.avg_latency_us) for r in self.results
+            (r.throughput_flits_per_us, r.avg_latency_us)
+            for r in self.completed_results()
         ]
 
     def sustainable_results(self) -> List[SimulationResult]:
-        return [r for r in self.results if r.sustainable]
+        return [r for r in self.completed_results() if r.sustainable]
 
     def max_sustainable_throughput(self) -> float:
         """Highest delivered throughput among sustainable points."""
@@ -49,6 +59,10 @@ class SweepSeries:
         )
         lines = [header]
         for r in self.results:
+            if r is None:
+                lines.append("         FAILED            FAILED         "
+                             "FAILED  (see failure manifest)")
+                continue
             latency = r.avg_latency_us
             lat = f"{latency:11.2f}" if latency is not None else "        n/a"
             # Three decimals: a 0.02 vs 0.04 flits/us/node sweep on a

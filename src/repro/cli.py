@@ -19,6 +19,8 @@ Commands:
   max-credits, threshold) across algorithms, patterns, and a shared
   fault plan, with saturation/latency deltas vs the xy baseline (see
   docs/SELECTION.md);
+* ``saturation`` — batched bisection searches for the maximum
+  sustainable load of each (algorithm x pattern) pair;
 * ``bench`` — time the engine on the canonical operating points and
   (optionally) gate against the committed perf trajectory
   ``BENCH_engine.json`` (see docs/PERFORMANCE.md).
@@ -29,11 +31,15 @@ phases (routing decision, switch allocation, flit advance).
 ``--selection``/``--selection-threshold`` to swap the output-selection
 policy.
 
-``sweep``, ``figure``, and ``faults`` route through the parallel
-experiment runner: ``--jobs N`` fans the operating points over N worker
-processes and ``--cache``/``--no-cache``/``--cache-dir``/``--force``
-control the on-disk result cache (results are bit-identical either way;
-see docs/PERFORMANCE.md).
+``sweep``, ``figure``, ``faults``, ``selection``, and ``saturation``
+route through the parallel experiment runner: ``--jobs N`` fans the
+operating points over N supervised worker processes and
+``--cache``/``--no-cache``/``--cache-dir``/``--force`` control the
+on-disk result cache (results are bit-identical either way; see
+docs/PERFORMANCE.md).  The supervision knobs — ``--point-timeout``,
+``--max-point-retries``, ``--keep-going``/``--fail-fast``,
+``--journal``, ``--resume`` — make long campaigns survive worker
+crashes, hangs, and interruptions (docs/RESILIENCE.md).
 
 Topology specs: ``mesh:16x16`` (any ``AxBxC...``), ``cube:8`` (binary
 n-cube), ``torus:8x2`` (k-ary n-cube, k then n).
@@ -168,6 +174,19 @@ def _positive_int(text: str) -> int:
     if value <= 0:
         raise argparse.ArgumentTypeError(
             f"must be a positive integer, got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a float that must be strictly positive."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {value}"
         )
     return value
 
@@ -329,7 +348,8 @@ def cmd_trace(args) -> int:
 
 def _make_runner(args) -> ParallelSweepRunner:
     """Build the experiment runner the sweep/figure commands route
-    through, from the shared ``--jobs``/``--cache*``/``--force`` flags."""
+    through, from the shared ``--jobs``/``--cache*``/``--force`` flags
+    and the supervision knobs (docs/RESILIENCE.md)."""
     cache = None
     if getattr(args, "cache", True):
         cache = ResultCache(getattr(args, "cache_dir", None))
@@ -338,9 +358,46 @@ def _make_runner(args) -> ParallelSweepRunner:
             jobs=getattr(args, "jobs", 1),
             cache=cache,
             force=getattr(args, "force", False),
+            point_timeout=getattr(args, "point_timeout", None),
+            max_point_retries=getattr(args, "max_point_retries", 0),
+            keep_going=getattr(args, "keep_going", False),
+            journal=getattr(args, "journal", None),
+            resume=getattr(args, "resume", False),
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
+
+
+def _finish_runner(runner: ParallelSweepRunner, args) -> int:
+    """Print the runner's stats line and failure manifest; close the
+    journal.  Returns the command exit code: 0 clean, 3 when points
+    permanently failed under ``--keep-going`` (partial results were
+    still printed)."""
+    quiet = getattr(args, "json", False)
+    if not quiet:
+        print(f"[{runner.stats.summary()}]")
+    if runner.failures:
+        print(
+            f"{len(runner.failures)} point(s) permanently failed:",
+            file=sys.stderr,
+        )
+        for failure in runner.failures:
+            print(f"  {failure.describe()}", file=sys.stderr)
+        manifest = getattr(args, "failure_manifest", None)
+        if manifest:
+            with open(manifest, "w", encoding="utf-8") as fh:
+                for failure in runner.failures:
+                    fh.write(
+                        json.dumps(
+                            failure.to_dict(), sort_keys=True, default=str
+                        )
+                        + "\n"
+                    )
+            print(f"failure manifest written to {manifest}", file=sys.stderr)
+        runner.close()
+        return 3
+    runner.close()
+    return 0
 
 
 def cmd_sweep(args) -> int:
@@ -364,8 +421,7 @@ def cmd_sweep(args) -> int:
         f"max sustainable throughput: "
         f"{series.max_sustainable_throughput():.1f} flits/us"
     )
-    print(f"[{runner.stats.summary()}]")
-    return 0
+    return _finish_runner(runner, args)
 
 
 def _resolve_figure(name: str):
@@ -407,8 +463,7 @@ def cmd_figure(args) -> int:
     )
     print()
     print(format_figure(name, series))
-    print(f"[{runner.stats.summary()}]")
-    return 0
+    return _finish_runner(runner, args)
 
 
 def cmd_faults(args) -> int:
@@ -458,8 +513,7 @@ def cmd_faults(args) -> int:
         print()
         for row in campaign.rows():
             print(row)
-        print(f"[{runner.stats.summary()}]")
-    return 0
+    return _finish_runner(runner, args)
 
 
 def cmd_selection(args) -> int:
@@ -504,8 +558,59 @@ def cmd_selection(args) -> int:
         print()
         for row in comparison.rows():
             print(row)
-        print(f"[{runner.stats.summary()}]")
-    return 0
+    return _finish_runner(runner, args)
+
+
+def cmd_saturation(args) -> int:
+    from .analysis import find_saturation_many, format_saturation_points
+
+    algorithms = [
+        part.strip() for part in args.algorithms.split(",") if part.strip()
+    ]
+    if not algorithms:
+        raise SystemExit("--algorithms must name at least one algorithm")
+    patterns = [
+        part.strip() for part in args.patterns.split(",") if part.strip()
+    ]
+    if not patterns:
+        raise SystemExit("--patterns must name at least one pattern")
+    topology = parse_topology(args.topology)
+    try:
+        pairs = [
+            (make_algorithm(algorithm, topology), _make_pattern(p, topology))
+            for algorithm in algorithms
+            for p in patterns
+        ]
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(str(exc)) from exc
+    runner = _make_runner(args)
+    points = find_saturation_many(
+        pairs,
+        base_config=_config(args),
+        low=args.low,
+        high=args.high,
+        iterations=args.iterations,
+        runner=runner,
+    )
+    if args.json:
+        payload = {
+            "topology": args.topology,
+            "points": [
+                {
+                    "algorithm": p.algorithm,
+                    "pattern": p.pattern,
+                    "max_sustainable_load": p.max_sustainable_load,
+                    "throughput_flits_per_us": p.throughput_flits_per_us,
+                    "latency_us": p.latency_us,
+                    "probes": p.probes,
+                }
+                for p in points
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_saturation_points(points))
+    return _finish_runner(runner, args)
 
 
 def cmd_bench(args) -> int:
@@ -777,6 +882,50 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_flags(p)
 
     p = sub.add_parser(
+        "saturation",
+        help="batched bisection search for each (algorithm x pattern) "
+        "pair's maximum sustainable load",
+    )
+    p.add_argument(
+        "--topology", default="mesh:16x16"
+    )
+    p.add_argument(
+        "--algorithms",
+        default=",".join(DEFAULT_ALGORITHMS),
+        help="comma-separated routing algorithms to search",
+    )
+    p.add_argument(
+        "--patterns",
+        default="uniform",
+        help="comma-separated traffic patterns",
+    )
+    p.add_argument("--low", type=float, default=0.0,
+                   help="known-sustainable lower bound (flits/us/node)")
+    p.add_argument("--high", type=float, default=8.0,
+                   help="assumed-unsustainable upper bound")
+    p.add_argument(
+        "--iterations",
+        type=_positive_int,
+        default=6,
+        help="bisection probes per pair (resolution (high-low)/2**n)",
+    )
+    p.add_argument("--warmup", type=int, default=2_000)
+    p.add_argument("--cycles", type=int, default=8_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--buffer-depth", type=int, default=1)
+    p.add_argument(
+        "--vc", type=int, default=1, help="virtual channels per link"
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the saturation points as JSON instead of the table",
+    )
+    _add_robustness_flags(p)
+    _add_selection_flags(p)
+    _add_runner_flags(p)
+
+    p = sub.add_parser(
         "bench",
         help="engine benchmark on the canonical operating points "
         "(docs/PERFORMANCE.md)",
@@ -896,6 +1045,55 @@ def _add_runner_flags(p: argparse.ArgumentParser) -> None:
         action="store_true",
         help="re-simulate even on cache hits (refreshes the cache)",
     )
+    p.add_argument(
+        "--point-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per operating point; a worker past it is "
+        "killed and the point retried or recorded as a timeout failure "
+        "(docs/RESILIENCE.md)",
+    )
+    p.add_argument(
+        "--max-point-retries",
+        type=_non_negative_int,
+        default=0,
+        help="re-dispatch attempts after a point crashes, hangs, or "
+        "raises, with exponential backoff (default 0)",
+    )
+    p.add_argument(
+        "--keep-going",
+        dest="keep_going",
+        action="store_true",
+        default=False,
+        help="record permanently failed points in a failure manifest and "
+        "finish the batch (exit code 3 if any failed)",
+    )
+    p.add_argument(
+        "--fail-fast",
+        dest="keep_going",
+        action="store_false",
+        help="abort the batch on the first permanent failure (default)",
+    )
+    p.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="JSONL campaign journal checkpointing each completed point "
+        "(fsync'd per line, so SIGKILL loses nothing journaled)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip points already recorded in --journal, serving them "
+        "from the result cache",
+    )
+    p.add_argument(
+        "--failure-manifest",
+        default=None,
+        metavar="PATH",
+        help="also write permanently failed points to this JSONL file",
+    )
 
 
 COMMANDS = {
@@ -908,6 +1106,7 @@ COMMANDS = {
     "faults": cmd_faults,
     "trace": cmd_trace,
     "selection": cmd_selection,
+    "saturation": cmd_saturation,
     "bench": cmd_bench,
 }
 

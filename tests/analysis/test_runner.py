@@ -185,6 +185,63 @@ class TestResultCache:
         assert cache.clear() == 1
         assert len(cache) == 0
 
+    def test_clear_sweeps_orphaned_tmp_files_and_empty_shards(
+        self, tmp_path
+    ):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        path = cache.put(spec, spec.execute())
+        # A writer crashing between mkstemp and the atomic rename leaves
+        # a *.tmp orphan that __len__ never counts.
+        orphan = path.parent / "leftover1234.tmp"
+        orphan.write_bytes(b"partial write")
+        assert cache.clear() == 1
+        assert not orphan.exists()
+        # The emptied shard directory is pruned too.
+        assert not path.parent.exists()
+        assert len(cache) == 0
+
+    def test_truncated_entry_is_a_miss_then_repaired_by_put(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        result = spec.execute()
+        path = cache.put(spec, result)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # torn mid-write
+        assert cache.get(spec) is None
+        cache.put(spec, result)
+        assert cache.get(spec) == result
+
+    def test_key_spec_mismatch_is_a_miss_then_overwritten(self, tmp_path):
+        # An entry stored under the wrong key (hash collision, or a file
+        # copied between shards) must degrade to a miss, never serve the
+        # other point's result.
+        cache = ResultCache(tmp_path)
+        spec_a, spec_b = _spec(load=0.3), _spec(load=0.4)
+        result_a, result_b = spec_a.execute(), spec_b.execute()
+        path_a = cache.put(spec_a, result_a)
+        path_b = cache.path_for(spec_b)
+        path_b.parent.mkdir(parents=True, exist_ok=True)
+        path_b.write_bytes(path_a.read_bytes())
+        assert cache.get(spec_b) is None
+        cache.put(spec_b, result_b)
+        assert cache.get(spec_b) == result_b
+        assert cache.get(spec_a) == result_a
+
+    def test_unreadable_shard_degrades_to_a_miss(self, tmp_path):
+        # The shard path existing as a regular file makes every read
+        # under it raise (NotADirectoryError, an OSError); the cache
+        # treats that as a miss and recovers once the obstruction goes.
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        result = spec.execute()
+        shard = cache.path_for(spec).parent
+        shard.write_bytes(b"not a directory")
+        assert cache.get(spec) is None
+        shard.unlink()
+        cache.put(spec, result)
+        assert cache.get(spec) == result
+
 
 class TestRunner:
     def test_parallel_results_bit_identical_to_serial(self):

@@ -455,3 +455,119 @@ class TestBenchCommand:
         )
         assert code == 1
         assert "fingerprint" in capsys.readouterr().err
+
+
+class TestSupervisionFlags:
+    """The crash-tolerance knobs threaded through the batch commands
+    (docs/RESILIENCE.md)."""
+
+    SWEEP = [
+        "sweep", "xy",
+        "--topology", "mesh:4x4",
+        "--loads", "0.3,0.6",
+        "--warmup", "100",
+        "--cycles", "400",
+    ]
+
+    def test_journal_then_resume_skips_done_points(self, capsys, tmp_path):
+        argv = self.SWEEP + [
+            "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--journal", str(tmp_path / "campaign.jsonl"),
+        ]
+        assert main(argv) == 0
+        assert "2 simulated, 0 cached" in capsys.readouterr().out
+
+        # --force normally re-simulates; journaled points are exempt.
+        assert main(argv + ["--resume", "--force"]) == 0
+        assert "0 simulated, 2 cached" in capsys.readouterr().out
+
+    def test_resume_without_journal_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(self.SWEEP + ["--resume"])
+
+    def test_keep_going_failure_exits_3_with_manifest(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import repro.cli as cli
+        from repro.analysis import chaos_batch
+
+        # Wrap every spec the sweep submits in a permanently raising
+        # chaos harness, so the command exercises the failure path.
+        original = cli.ParallelSweepRunner.run_batch
+
+        def sabotaged(self, specs, progress=None):
+            return original(
+                self,
+                chaos_batch(
+                    specs,
+                    chaos_seed=0,
+                    failure_rate=1.1,
+                    fail_attempts=10 ** 9,
+                ),
+                progress=progress,
+            )
+
+        monkeypatch.setattr(
+            cli.ParallelSweepRunner, "run_batch", sabotaged
+        )
+        manifest = tmp_path / "manifest.jsonl"
+        code = main(
+            self.SWEEP + [
+                "--no-cache",
+                "--keep-going",
+                "--point-timeout", "5",
+                "--failure-manifest", str(manifest),
+            ]
+        )
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "permanently failed" in err
+        lines = manifest.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert all(
+            json.loads(line)["cause"] in ("crash", "timeout", "exception")
+            for line in lines
+        )
+
+    def test_bad_supervision_values_exit(self):
+        with pytest.raises(SystemExit):
+            main(self.SWEEP + ["--point-timeout", "0"])
+        with pytest.raises(SystemExit):
+            main(self.SWEEP + ["--max-point-retries", "-1"])
+
+    def test_saturation_command(self, capsys):
+        code = main(
+            [
+                "saturation",
+                "--topology", "mesh:4x4",
+                "--algorithms", "xy,west-first",
+                "--warmup", "100",
+                "--cycles", "400",
+                "--iterations", "2",
+                "--high", "4.0",
+                "--jobs", "2",
+                "--no-cache",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "xy" in out and "west-first" in out
+
+    def test_saturation_json(self, capsys):
+        code = main(
+            [
+                "saturation",
+                "--topology", "mesh:4x4",
+                "--algorithms", "xy",
+                "--warmup", "100",
+                "--cycles", "400",
+                "--iterations", "1",
+                "--high", "4.0",
+                "--no-cache",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["points"][0]["algorithm"] == "xy"
