@@ -80,10 +80,14 @@ from .observability import (
     TraceEvent,
 )
 from .simulation import (
+    ArrayWormholeSimulator,
+    BatchSimulator,
     SimulationConfig,
     SimulationResult,
     WormholeSimulator,
     detect_deadlock,
+    make_simulator,
+    numpy_available,
 )
 from .topology import (
     Channel,
@@ -115,6 +119,8 @@ __version__ = "1.0.0"
 __all__ = [
     "AllButOneNegativeFirst",
     "AllButOnePositiveLast",
+    "ArrayWormholeSimulator",
+    "BatchSimulator",
     "Channel",
     "ClassifiedNegativeFirst",
     "DatelineDimensionOrder",
@@ -157,6 +163,8 @@ __all__ = [
     "fault_tolerance",
     "generate_certificate",
     "make_algorithm",
+    "make_simulator",
+    "numpy_available",
     "pcube_choice_table",
     "s_fully_adaptive",
     "s_negative_first",

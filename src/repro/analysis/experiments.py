@@ -55,6 +55,10 @@ class ExperimentPreset:
     output_selection: str = "xy"
     selection_threshold: int = 2
 
+    # Engine backend (threaded through from ``figure --backend``; the
+    # backends are bit-identical, so this is purely a speed knob).
+    backend: str = "event"
+
     def config(self) -> SimulationConfig:
         return SimulationConfig(
             warmup_cycles=self.warmup_cycles,
@@ -65,6 +69,7 @@ class ExperimentPreset:
             max_retries=self.max_retries,
             output_selection=self.output_selection,
             selection_threshold=self.selection_threshold,
+            backend=self.backend,
         )
 
 

@@ -55,8 +55,8 @@ from .supervision import (
 
 from ..routing.base import RoutingAlgorithm
 from ..routing.registry import make_algorithm
+from ..simulation.array_engine import BatchSimulator, make_simulator
 from ..simulation.config import SimulationConfig
-from ..simulation.engine import WormholeSimulator
 from ..simulation.metrics import SimulationResult
 from ..topology.base import Topology
 from ..topology.hypercube import Hypercube
@@ -71,7 +71,7 @@ from ..traffic.patterns import (
     UniformPattern,
 )
 
-CACHE_SCHEMA = 3
+CACHE_SCHEMA = 4
 """Bumped whenever the cached payload layout changes; part of every key.
 
 Schema 2: :class:`SimulationResult` grew the graceful-degradation fields
@@ -83,7 +83,12 @@ Schema 3: the observability collectors (docs/OBSERVABILITY.md) added
 ``channel_util_series``/``router_blocked_cycles``/``latency_histogram``
 to :class:`SimulationResult` and the collector knobs to
 :class:`SimulationConfig`; old entries lack those payload fields, so
-they key out."""
+they key out.
+
+Schema 4: :class:`SimulationConfig` gained the ``backend`` engine
+selector (docs/SIMULATOR.md).  The backends are proven bit-identical,
+but the key must cover every config field uniformly, so entries keyed
+by schema-3 code retire rather than aliasing."""
 
 ProgressCallback = Callable[[SimulationResult], None]
 
@@ -200,9 +205,10 @@ class PointSpec:
         return algorithm, pattern
 
     def execute(self) -> SimulationResult:
-        """Run the simulation for this point (in the calling process)."""
+        """Run the simulation for this point (in the calling process),
+        on the engine backend named by ``config.backend``."""
         algorithm, pattern = self.build()
-        return WormholeSimulator(algorithm, pattern, self.config).run()
+        return make_simulator(algorithm, pattern, self.config).run()
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -594,6 +600,40 @@ class ParallelSweepRunner:
 
             if not pending:
                 return BatchReport(results, batch_failures)
+
+            # Array-backend points execute as ONE batched engine pass in
+            # this process: stacking them is the entire point of the
+            # backend (numpy kernels advance every member per cycle), and
+            # it beats fanning them out over worker processes.  Results
+            # are bit-identical to per-point runs (equivalence suite) and
+            # are recorded per point, so cache/journal/progress behave
+            # exactly as if each had run alone.  Supervised campaigns
+            # keep per-point workers instead — crash isolation and the
+            # per-point watchdog don't compose with a shared arena.
+            if not self.supervised:
+                abatch = [
+                    i for i in pending
+                    # Duck-typed specs (execute()/cache_key() only, no
+                    # config or build()) always take the generic paths.
+                    if getattr(
+                        getattr(specs[i], "config", None), "backend", None
+                    ) == "array"
+                    and hasattr(specs[i], "build")
+                ]
+                if len(abatch) > 1:
+                    points = []
+                    for i in abatch:
+                        algorithm, pattern = specs[i].build()
+                        points.append((algorithm, pattern, specs[i].config))
+                    for i, result in zip(
+                        abatch, BatchSimulator(points).run()
+                    ):
+                        results[i] = result
+                        self._record(specs[i], result, report)
+                    done = set(abatch)
+                    pending = [i for i in pending if i not in done]
+                    if not pending:
+                        return BatchReport(results, batch_failures)
 
             if not self.supervised and (self.jobs == 1 or len(pending) == 1):
                 for i in pending:

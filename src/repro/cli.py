@@ -54,6 +54,7 @@ from typing import List, Optional
 
 from .analysis import FAST, FIGURE_HARNESSES, FULL, format_figure
 from .analysis.bench import (
+    batch_bench_points,
     bench_points,
     compare_reports,
     load_report,
@@ -91,8 +92,8 @@ from .observability import (
     trace_header,
 )
 from .routing.registry import algorithm_names, make_algorithm
-from .simulation.config import SimulationConfig
-from .simulation.engine import WormholeSimulator
+from .simulation.array_engine import make_simulator
+from .simulation.config import BACKENDS, SimulationConfig
 from .simulation.selection import output_policy_names
 from .topology.base import Topology
 from .topology.mesh import Mesh2D
@@ -219,6 +220,7 @@ def _config(args) -> SimulationConfig:
         max_retries=getattr(args, "max_retries", 0),
         retry_backoff_base=getattr(args, "retry_backoff_base", 32),
         retry_backoff_cap=getattr(args, "retry_backoff_cap", 2_048),
+        backend=getattr(args, "backend", "event"),
     )
 
 
@@ -227,7 +229,7 @@ def cmd_simulate(args) -> int:
     algorithm = make_algorithm(args.algorithm, topology)
     pattern = make_pattern(args.pattern, topology)
     profiler = PhaseProfiler() if args.profile else None
-    result = WormholeSimulator(
+    result = make_simulator(
         algorithm, pattern, _config(args), profiler=profiler
     ).run()
     print(result.summary())
@@ -269,7 +271,7 @@ def cmd_trace(args) -> int:
     if kinds is not None:
         sink = FilteringSink(sink, kinds)
     profiler = PhaseProfiler() if args.profile else None
-    simulator = WormholeSimulator(
+    simulator = make_simulator(
         algorithm, pattern, config, sink=sink, profiler=profiler
     )
     result = simulator.run()
@@ -453,6 +455,8 @@ def cmd_figure(args) -> int:
         overrides["output_selection"] = args.selection
     if args.selection_threshold != preset.selection_threshold:
         overrides["selection_threshold"] = args.selection_threshold
+    if args.backend != preset.backend:
+        overrides["backend"] = args.backend
     if overrides:
         preset = replace(preset, **overrides)
     runner = _make_runner(args)
@@ -487,6 +491,7 @@ def cmd_faults(args) -> int:
         deadlock_threshold=args.deadlock_threshold,
         output_selection=args.selection,
         selection_threshold=args.selection_threshold,
+        backend=args.backend,
     )
     runner = _make_runner(args)
     progress = None
@@ -531,6 +536,7 @@ def cmd_selection(args) -> int:
         warmup_cycles=args.warmup,
         measure_cycles=args.cycles,
         seed=args.seed,
+        backend=args.backend,
     )
     runner = _make_runner(args)
     progress = None
@@ -615,10 +621,17 @@ def cmd_saturation(args) -> int:
 
 def cmd_bench(args) -> int:
     baseline = load_report(args.baseline) if args.baseline else None
-    points = bench_points(quick=args.quick)
+    points = []
+    if args.backend in ("event", "both"):
+        points.extend(bench_points(quick=args.quick))
+    if args.backend in ("array", "both"):
+        points.extend(bench_points(quick=args.quick, backend="array"))
+    batch = []
+    if args.backend != "event" and not args.no_batch:
+        batch = batch_bench_points(quick=args.quick)
     print(
-        f"benchmarking {len(points)} point(s), "
-        f"best of {args.repeats} repeat(s) each ...",
+        f"benchmarking {len(points)} point(s) + {len(batch)} batch "
+        f"point(s), best of {args.repeats} repeat(s) each ...",
         flush=True,
     )
     report = run_bench(
@@ -627,8 +640,14 @@ def cmd_bench(args) -> int:
         baseline=baseline,
         label=args.label,
         progress=lambda m: print(
-            f"  {m.point.id:26s} {m.cycles_per_s:12.0f} cycles/s "
+            f"  {m.point.id:30s} {m.cycles_per_s:12.0f} cycles/s "
             f"({m.wall_s:.3f}s)",
+            flush=True,
+        ),
+        batch_points=batch,
+        batch_progress=lambda m: print(
+            f"  {m.point.id:30s} {m.points_per_s:12.2f} pts/s "
+            f"({m.speedup:.2f}x event)",
             flush=True,
         ),
     )
@@ -692,6 +711,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
         _add_robustness_flags(p)
         _add_selection_flags(p)
+        _add_backend_flag(p)
         if name == "simulate":
             p.add_argument("--load", type=float, default=1.0)
             p.add_argument(
@@ -753,6 +773,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_robustness_flags(p)
     _add_selection_flags(p)
+    _add_backend_flag(p)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("name", help="fig13..fig16, or the bare number")
@@ -769,6 +790,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_robustness_flags(p)
     _add_selection_flags(p)
+    _add_backend_flag(p)
     _add_runner_flags(p)
 
     p = sub.add_parser(
@@ -823,6 +845,7 @@ def build_parser() -> argparse.ArgumentParser:
         p, packet_timeout_default=800, max_retries_default=2
     )
     _add_selection_flags(p)
+    _add_backend_flag(p)
     _add_runner_flags(p)
 
     p = sub.add_parser(
@@ -879,6 +902,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the comparison as JSON instead of the text report",
     )
+    _add_backend_flag(p)
     _add_runner_flags(p)
 
     p = sub.add_parser(
@@ -923,6 +947,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_robustness_flags(p)
     _add_selection_flags(p)
+    _add_backend_flag(p)
     _add_runner_flags(p)
 
     p = sub.add_parser(
@@ -933,6 +958,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--quick", action="store_true",
         help="run only the quick CI subset of points",
+    )
+    p.add_argument(
+        "--backend", choices=("event", "array", "both"), default="event",
+        help="engine backend(s) to benchmark; array/both also run the "
+        "batched-sweep points-per-second points (default event)",
+    )
+    p.add_argument(
+        "--no-batch", action="store_true",
+        help="skip the batched-sweep points",
     )
     p.add_argument(
         "--repeats", type=_positive_int, default=2,
@@ -999,6 +1033,20 @@ def _add_robustness_flags(
         type=_positive_int,
         default=2_048,
         help="upper bound on the retry backoff delay",
+    )
+
+
+def _add_backend_flag(p: argparse.ArgumentParser) -> None:
+    """The engine-backend selector shared by the simulation commands.
+
+    Both backends are bit-identical (docs/SIMULATOR.md); ``array``
+    requires the optional numpy extra and shines on batched sweeps.
+    """
+    p.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="event",
+        help="engine backend (default: event; array requires numpy)",
     )
 
 

@@ -1,6 +1,13 @@
 """Flit-level wormhole network simulation (the Section 6 apparatus)."""
 
-from .config import SimulationConfig
+from .array_engine import (
+    ArrayWormholeSimulator,
+    BatchSimulator,
+    make_simulator,
+    numpy_available,
+    vectorized_envelope,
+)
+from .config import BACKENDS, SimulationConfig
 from .deadlock import DeadlockReport, build_wait_for_graph, detect_deadlock
 from .engine import WormholeSimulator
 from .metrics import SimulationResult
@@ -21,6 +28,9 @@ from .selection import (
 )
 
 __all__ = [
+    "ArrayWormholeSimulator",
+    "BACKENDS",
+    "BatchSimulator",
     "ChannelHold",
     "DeadlockReport",
     "INPUT_POLICIES",
@@ -37,9 +47,12 @@ __all__ = [
     "get_output_policy",
     "input_policy_names",
     "make_output_policy",
+    "make_simulator",
+    "numpy_available",
     "output_policy_names",
     "random_input_selection",
     "random_output_selection",
+    "vectorized_envelope",
     "xy_output_selection",
     "zigzag_output_selection",
 ]

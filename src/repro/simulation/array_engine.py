@@ -1,0 +1,1260 @@
+"""The batched struct-of-arrays engine backend (``backend="array"``).
+
+ROADMAP item 2: the event-driven engine (PR 4) still advances one
+Python ``Packet`` object at a time; this backend packs channel
+allocation, buffer occupancy, header position/direction, and per-packet
+timers into numpy struct-of-arrays and advances **every in-flight worm
+of every batched operating point** per cycle with boolean-mask kernels.
+:class:`BatchSimulator` stacks B independent operating points (sweep
+points, seeds, fault trials) along one concatenated arena so a full
+figure sweep is a handful of numpy passes per cycle instead of
+B Python interpreter loops.
+
+**Equivalence contract** (proved by the three-way suite in
+``tests/simulation/test_engine_equivalence.py`` and the golden
+fingerprints; see docs/SIMULATOR.md for the per-feature table): every
+feature is *bit-identical* to the event engine.  Operating points inside
+the *vectorized envelope* — single virtual channel, ``xy`` output /
+``fcfs`` input selection, empty fault plan, watchdog off, no trace sink,
+no collectors, no profiler — run arbitration and movement as numpy
+kernels whose update order provably replays the scalar engine's
+(head-first flit shifting via a rank walk over disjoint chains;
+two-phase arbitration via a lexsort that computes exactly the local-FCFS
+winner per contested channel).  Points outside the envelope (virtual
+channels, faults, retries, policies that draw from the RNG,
+observability) fall back to driving a cycle-locked
+:class:`~repro.simulation.engine.WormholeSimulator` member — the same
+code, therefore trivially bit-identical — so the whole configuration
+space is supported and the batch API is uniform.
+
+Generation and injection stay scalar per member even in the vectorized
+envelope: they are event-driven (arrival calendar) and must replay the
+member's ``random.Random(seed)`` draw sequence exactly.  Both engines
+draw nothing on the hot path of the envelope (``xy``/``fcfs`` never
+touch the RNG), so the streams stay aligned.
+
+numpy is an optional dependency (``pip install repro[array]``); the
+module imports with numpy absent and every entry point raises a clear
+error instead.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+try:  # numpy is the optional `repro[array]` extra
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the minimal-install job
+    np = None  # type: ignore[assignment]
+
+from ..routing.table import RoutingTable
+from .config import SimulationConfig
+from .engine import WormholeSimulator
+from .metrics import SimulationResult
+from .packet import Packet
+
+#: Arena codes for ``pk_state`` (a packet leaves the arena as ``_DONE``).
+_ROUTING = 0
+_MOVING = 1
+_EJECT_WAIT = 2
+_EJECTING = 3
+_DONE = 4
+
+#: Candidate lookup tables beyond this many int32 entries are not built;
+#: the affected members fall back to the scalar path instead of paying
+#: hundreds of MB per (algorithm, topology) group.
+_LUT_ENTRY_CAP = 33_554_432
+
+#: ``ch_warm`` sentinel for channels whose member does not track load.
+_NEVER = 1 << 60
+
+#: ``ch_mb`` packs per-channel counters into one int64: flits moved in
+#: the high 32 bits, buffer occupancy in the low 32.
+_MB_LOW = (1 << 32) - 1
+_MB_HI1 = 1 << 32
+_MB_BOTH = _MB_HI1 | 1
+
+_SLOT_FIELDS: Tuple[Tuple[str, int, str], ...] = (
+    ("pk_sim", 0, "int64"),
+    ("pk_len", 0, "int64"),
+    ("pk_src", 0, "int64"),
+    ("pk_dst", 0, "int64"),
+    ("pk_pid", 0, "int64"),
+    ("pk_created", 0, "int64"),
+    ("pk_state", _DONE, "int64"),
+    ("pk_head_node", 0, "int64"),
+    ("pk_head_dir", 0, "int64"),
+    ("pk_wait", 0, "int64"),
+    ("pk_head_ch", -1, "int64"),
+    ("pk_tail_ch", -1, "int64"),
+    ("pk_launched", 0, "int64"),
+    ("pk_ejected", 0, "int64"),
+    ("pk_injected", -1, "int64"),
+    ("pk_hops", 0, "int64"),
+    ("pk_mis", 0, "int64"),
+    ("pk_depth", 0, "int64"),
+    ("pk_dormant", 0, "bool"),
+    # Arbitration parking (the vectorized analog of the event engine's
+    # channel-free wakeup sets): a ROUTING header with zero free
+    # candidates skips arbitration until one of its recorded wait
+    # channels (``pk_wchan``) is released.
+    ("pk_arbwait", 0, "bool"),
+    # Scratch: transiently marks slots whose worm shifted a flit this
+    # cycle (always reset to False before the kernel returns).
+    ("pk_scratch", 0, "bool"),
+)
+
+
+def numpy_available() -> bool:
+    """Whether the optional numpy dependency is importable."""
+    return np is not None
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise RuntimeError(
+            "the 'array' engine backend requires numpy, which is not "
+            "installed; install the optional extra (pip install "
+            "'repro[array]' or pip install numpy) or use the default "
+            "backend='event'"
+        )
+
+
+def vectorized_envelope(config: SimulationConfig) -> bool:
+    """Whether this operating point runs on the vectorized kernels.
+
+    Outside the envelope the array backend still accepts the point but
+    drives it through a cycle-locked event-engine member (bit-identical
+    by construction; see the module docstring and docs/SIMULATOR.md).
+    """
+    return (
+        config.virtual_channels == 1
+        and config.output_selection == "xy"
+        and config.input_selection == "fcfs"
+        and config.fault_plan.is_empty
+        and config.packet_timeout == 0
+        and config.channel_series_period == 0
+        and not config.collect_router_blocked
+        and not config.collect_latency_histogram
+    )
+
+
+class _GroupTables:
+    """Per-(algorithm kind, topology shape) integer routing LUTs.
+
+    Flattens the memoised :class:`~repro.routing.table.RoutingTable`
+    answers into ``[node x dest x (in_direction+1)] -> K`` local channel
+    ids (xy-sorted so *first free wins* is exactly the paper's xy output
+    selection), plus a parallel misroute flag per entry (the engine's
+    ``distance(ch.dst, dest) >= distance(ch.src, dest)`` test).  Rows
+    build lazily, only for decisions that actually occur.  Shared by
+    every batch member with the same algorithm class+name and topology
+    class+shape — routing here is a pure function of those (the
+    turn-model algorithms are stateless by construction).
+    """
+
+    def __init__(self, algorithm, topology) -> None:
+        self.table = RoutingTable(algorithm)
+        self.topology = topology
+        self._dist: Dict[Tuple[int, int], int] = {}
+        physical = list(topology.channels())
+        dirs = sorted({c.direction for c in physical})
+        self.dir_index = {d: i + 1 for i, d in enumerate(dirs)}
+        self.index_dir: List = [None] + dirs
+        self.num_dirs = len(dirs)
+        self.N = topology.num_nodes
+        self.K = self.num_dirs
+        self.channels = physical
+        self.channel_ids = {
+            (c.src, c.direction): i for i, c in enumerate(physical)
+        }
+        rows = self.N * self.N * (self.num_dirs + 1)
+        self.ok = rows * self.K <= _LUT_ENTRY_CAP
+        if self.ok:
+            self.cand = np.full((rows, self.K), -1, dtype=np.int64)
+            self.cmis = np.zeros((rows, self.K), dtype=np.int64)
+            self.cbuilt = np.zeros(rows, dtype=bool)
+            self.esc = np.full((rows, self.K), -1, dtype=np.int64)
+            self.emis = np.zeros((rows, self.K), dtype=np.int64)
+            self.ebuilt = np.zeros(rows, dtype=bool)
+
+    def key_of(self, algorithm, topology) -> tuple:
+        return _group_key(algorithm, topology)
+
+    def ensure_rows(self, rows, escape: bool) -> None:
+        built = self.ebuilt if escape else self.cbuilt
+        hit = built[rows]
+        if hit.all():
+            return
+        for r in np.unique(rows[~hit]):
+            self._build_row(int(r), escape)
+
+    def _build_row(self, row: int, escape: bool) -> None:
+        span = self.num_dirs + 1
+        diridx = row % span
+        nd = row // span
+        dest = nd % self.N
+        node = nd // self.N
+        in_direction = self.index_dir[diridx]
+        if escape:
+            dirs = self.table.escape_candidates(node, dest, in_direction)
+            out, mis, built = self.esc, self.emis, self.ebuilt
+        else:
+            dirs = self.table.candidates(node, dest, in_direction)
+            out, mis, built = self.cand, self.cmis, self.cbuilt
+        # First-appearance dedup (as the engine does) then xy order, so
+        # "first free entry" is the xy output-selection winner.
+        ordered = sorted(dict.fromkeys(dirs), key=lambda d: (d.dim, d.sign))
+        distance = self.topology.distance
+        memo = self._dist
+        for j, d in enumerate(ordered):
+            cid = self.channel_ids[(node, d)]
+            out[row, j] = cid
+            channel = self.channels[cid]
+            near = memo.get((channel.dst, dest))
+            if near is None:
+                near = distance(channel.dst, dest)
+                memo[(channel.dst, dest)] = near
+            far = memo.get((channel.src, dest))
+            if far is None:
+                far = distance(channel.src, dest)
+                memo[(channel.src, dest)] = far
+            mis[row, j] = int(near >= far)
+        built[row] = True
+
+
+def _group_key(algorithm, topology) -> tuple:
+    # Routing here is a pure function of the algorithm's class + name
+    # (+ its TurnModel, for the turn-restricted family — a frozen,
+    # hashable dataclass) and the topology's class + shape: that is the
+    # contract every algorithm in the registry satisfies, and it is what
+    # lets LUTs be shared across members and across batches.
+    return (
+        type(algorithm),
+        getattr(algorithm, "name", None),
+        getattr(algorithm, "model", None),
+        type(topology),
+        tuple(topology.dims),
+    )
+
+
+#: Cross-batch LUT cache: lazily-built rows survive from one
+#: ``BatchSimulator`` to the next in the same process, so a sweep of many
+#: batches pays each routing-table flattening once.  Bounded: oldest
+#: groups are evicted (in-flight cores keep their own references).
+_GROUP_CACHE: Dict[tuple, "_GroupTables"] = {}
+_GROUP_CACHE_MAX = 8
+
+
+def _shared_group(algorithm, topology) -> "_GroupTables":
+    key = _group_key(algorithm, topology)
+    group = _GROUP_CACHE.get(key)
+    if group is None:
+        group = _GroupTables(algorithm, topology)
+        _GROUP_CACHE[key] = group
+        while len(_GROUP_CACHE) > _GROUP_CACHE_MAX:
+            del _GROUP_CACHE[next(iter(_GROUP_CACHE))]
+    return group
+
+
+class _FastMember:
+    """One vectorized-envelope operating point inside a batch.
+
+    Owns the scalar per-member state (RNG, arrival calendar, source
+    queues, injection ports, result accounting) — a faithful port of the
+    event engine's generation/injection stages — while arbitration and
+    movement for its worms run inside the core's shared numpy kernels.
+    """
+
+    fast = True
+
+    def __init__(
+        self, core: "_BatchCore", fidx: int, algorithm, pattern,
+        config: SimulationConfig,
+    ) -> None:
+        import random
+
+        self.core = core
+        self.fidx = fidx
+        self.algorithm = algorithm
+        self.pattern = pattern
+        self.config = config
+        self.topology = algorithm.topology
+        self.rng = random.Random(config.seed)
+        self.num_ch = len(self.core_channels())
+        self.total = config.total_cycles
+        self.frozen = False
+        self.inflight = 0
+        self._last_cycle = 0
+        self._next_pid = 0
+        self._backlog = 0
+
+        self.queues: List[Deque[Packet]] = [
+            deque() for _ in range(self.topology.num_nodes)
+        ]
+        self.injection_busy: List[int] = [-1] * self.topology.num_nodes
+        self.pending_nodes: set = set()
+        self.sources = list(pattern.active_sources(self.topology))
+        self.next_arrival: Dict[int, float] = {}
+        self._arrival_heap: List[Tuple[float, int]] = []
+        rate = config.messages_per_cycle
+        if rate > 0:
+            for index, node in enumerate(self.sources):
+                when = self.rng.expovariate(rate)
+                self.next_arrival[node] = when
+                self._arrival_heap.append((when, index))
+            heapq.heapify(self._arrival_heap)
+
+        # Assigned by the core once all members are known.
+        self.ch_off = 0
+        self.node_off = 0
+
+        self.result = SimulationResult(
+            algorithm=algorithm.name,
+            pattern=getattr(pattern, "name", type(pattern).__name__),
+            offered_load=config.offered_load,
+            num_nodes=self.topology.num_nodes,
+            active_sources=len(self.sources),
+            measure_cycles=config.measure_cycles,
+            cycle_time_us=config.cycle_time_us,
+        )
+
+    def core_channels(self) -> list:
+        return list(self.topology.channels())
+
+    # -- generation / injection (scalar, RNG-exact engine ports) ------------
+
+    def _generate(self, cycle: int) -> None:
+        heap = self._arrival_heap
+        if not heap or heap[0][0] > cycle:
+            return
+        if cycle >= self.config.generation_cycles:
+            return
+        pop = heapq.heappop
+        due = [pop(heap)]
+        while heap and heap[0][0] <= cycle:
+            due.append(pop(heap))
+        if len(due) > 1:
+            due.sort(key=lambda item: item[1])
+        config = self.config
+        rate = config.messages_per_cycle
+        lengths = config.message_lengths
+        num_lengths = len(lengths)
+        max_queue = config.max_queue_per_node
+        rng = self.rng
+        expovariate = rng.expovariate
+        randrange = rng.randrange
+        pattern_dest = self.pattern.dest
+        queues = self.queues
+        sources = self.sources
+        next_arrival = self.next_arrival
+        push = heapq.heappush
+        for when, index in due:
+            node = sources[index]
+            while when <= cycle:
+                when += expovariate(rate)
+                if len(queues[node]) >= max_queue:
+                    continue
+                dst = pattern_dest(node, rng)
+                if dst is None or dst == node:
+                    continue
+                length = lengths[randrange(num_lengths)]
+                self._enqueue(Packet(self._next_pid, node, dst, length, cycle))
+                self._next_pid += 1
+            next_arrival[node] = when
+            push(heap, (when, index))
+        self.core.m_nextgen[self.fidx] = (
+            heap[0][0] if heap else float("inf")
+        )
+
+    def _enqueue(self, packet: Packet) -> None:
+        node = packet.src
+        self.queues[node].append(packet)
+        self._backlog += 1
+        if packet.created >= self.config.warmup_cycles:
+            self.result.generated_packets += 1
+        if self.injection_busy[node] < 0:
+            self.pending_nodes.add(node)
+            self.core.m_pending[self.fidx] = True
+
+    def _inject(self, cycle: int) -> None:
+        for node in list(self.pending_nodes):
+            queue = self.queues[node]
+            if not queue or self.injection_busy[node] >= 0:
+                self.pending_nodes.discard(node)
+                continue
+            packet = queue.popleft()
+            self._backlog -= 1
+            slot = self.core._alloc_slot(self, packet, cycle)
+            self.injection_busy[node] = slot
+            self.pending_nodes.discard(node)
+        self.core.m_pending[self.fidx] = False
+
+    def _release_injection(self, slot: int) -> None:
+        node = int(self.core.pk_src[slot])
+        self.injection_busy[node] = -1
+        if self.queues[node]:
+            self.pending_nodes.add(node)
+            self.core.m_pending[self.fidx] = True
+
+    def _deliver(self, slot: int, cycle: int) -> None:
+        core = self.core
+        core.ej_owner[self.node_off + int(core.pk_dst[slot])] = -1
+        core.pk_state[slot] = _DONE
+        core._live_dirty = True
+        self.inflight -= 1
+        core.m_inflight[self.fidx] -= 1
+        created = int(core.pk_created[slot])
+        if created >= self.config.warmup_cycles:
+            result = self.result
+            length = int(core.pk_len[slot])
+            result.delivered_packets += 1
+            result.delivered_flits += length
+            result.total_latency_cycles += cycle - created
+            injected = int(core.pk_injected[slot])
+            result.total_net_latency_cycles += cycle - (
+                injected if injected >= 0 else created
+            )
+            result.total_hops += int(core.pk_hops[slot])
+            result.total_misroutes += int(core.pk_mis[slot])
+            result.latency_by_length.setdefault(length, []).append(
+                cycle - created
+            )
+
+
+class _ScalarMember:
+    """A batch member outside the vectorized envelope: a cycle-locked
+    event-engine simulator (the same code, therefore bit-identical)."""
+
+    fast = False
+
+    def __init__(
+        self, algorithm, pattern, config: SimulationConfig,
+        sink=None, profiler=None,
+    ) -> None:
+        self.sim = WormholeSimulator(
+            algorithm, pattern, config, sink=sink, profiler=profiler
+        )
+        self.total = config.total_cycles
+        self.frozen = False
+
+    def run_cycle(self, cycle: int) -> None:
+        sim = self.sim
+        sim.cycle = cycle
+        sim._cycle_body(cycle)
+        if sim._after_cycle(cycle):
+            self.frozen = True
+
+    def finalize(self) -> SimulationResult:
+        return self.sim.finalize()
+
+
+class _BatchCore:
+    """The shared arena advancing every fast member's worms per cycle.
+
+    Channel state is concatenated across fast members (``ch_off`` /
+    ``node_off`` offsets keep members disjoint, so one kernel pass
+    serves the whole batch); packet state lives in append-only slot
+    arrays — slots are never reused, so ascending slot order *is* each
+    member's packet-injection order, which is exactly the iteration
+    order of the event engine's insertion-ordered ``active`` dict.
+    Every scalar side effect that order can reach (injection release,
+    delivery accounting) is therefore applied in ascending slot order.
+    """
+
+    def __init__(self, points, sinks=None, profilers=None) -> None:
+        _require_numpy()
+        points = list(points)
+        if not points:
+            raise ValueError("BatchSimulator needs at least one point")
+        sinks = list(sinks) if sinks is not None else [None] * len(points)
+        profilers = (
+            list(profilers) if profilers is not None else [None] * len(points)
+        )
+        self.members: List = []
+        self.fast: List[_FastMember] = []
+        self._groups_by_key: Dict[tuple, _GroupTables] = {}
+        self.groups: List[_GroupTables] = []
+        group_of: List[int] = []
+        for (algorithm, pattern, config), sink, profiler in zip(
+            points, sinks, profilers
+        ):
+            fastable = (
+                sink is None
+                and profiler is None
+                and vectorized_envelope(config)
+            )
+            group_index = -1
+            if fastable:
+                key = _group_key(algorithm, algorithm.topology)
+                group = self._groups_by_key.get(key)
+                if group is None:
+                    group = _shared_group(algorithm, algorithm.topology)
+                    self._groups_by_key[key] = group
+                    self.groups.append(group)
+                if group.ok:
+                    group_index = self.groups.index(group)
+                else:
+                    fastable = False  # LUT would exceed the memory cap
+            if fastable:
+                member = _FastMember(
+                    self, len(self.fast), algorithm, pattern, config
+                )
+                self.fast.append(member)
+                group_of.append(group_index)
+            else:
+                member = _ScalarMember(
+                    algorithm, pattern, config, sink=sink, profiler=profiler
+                )
+            self.members.append(member)
+
+        # -- concatenated channel / node arenas over the fast members
+        ch_off = 0
+        node_off = 0
+        dst_local: List[int] = []
+        dir_idx: List[int] = []
+        warm: List[int] = []
+        any_loads = False
+        for member, gi in zip(self.fast, group_of):
+            member.ch_off = ch_off
+            member.node_off = node_off
+            group = self.groups[gi]
+            for channel in group.channels:
+                dst_local.append(channel.dst)
+                dir_idx.append(group.dir_index[channel.direction])
+            track = member.config.track_channel_load
+            any_loads = any_loads or track
+            threshold = member.config.warmup_cycles if track else _NEVER
+            warm.extend([threshold] * len(group.channels))
+            ch_off += len(group.channels)
+            node_off += member.topology.num_nodes
+        total_ch = ch_off
+        total_nodes = node_off
+        self.ch_owner = np.full(total_ch, -1, dtype=np.int64)
+        # Mirror of ``ch_owner >= 0`` maintained at grant/release, so the
+        # per-cycle held-channel scan is a bool nonzero, not an int compare.
+        self.ch_held = np.zeros(total_ch, dtype=bool)
+        # moved/buffered counters packed into one word (moved in the high
+        # 32 bits, buffer occupancy in the low 32) so the movement kernel
+        # reads and updates both with a single gather/scatter each.
+        self.ch_mb = np.zeros(total_ch, dtype=np.int64)
+        self.ch_prev = np.full(total_ch, -1, dtype=np.int64)
+        self.ch_next = np.full(total_ch, -1, dtype=np.int64)
+        self.ch_dst_local = np.asarray(dst_local, dtype=np.int64)
+        self.ch_dir = np.asarray(dir_idx, dtype=np.int64)
+        self.ch_warm = np.asarray(warm, dtype=np.int64)
+        self.loads = np.zeros(total_ch, dtype=np.int64) if any_loads else None
+        self.ej_owner = np.full(total_nodes, -1, dtype=np.int64)
+        # Arbitration wakeup flags: stage 3 marks released channels here
+        # and the next cycle's arbitration wakes exactly the parked
+        # headers waiting on one.  The extra trailing cell is a
+        # never-freed sentinel that padding entries in ``pk_wchan``
+        # point at, keeping gathers in bounds without a validity mask.
+        self.ch_freed = np.zeros(total_ch + 1, dtype=bool)
+        self._any_freed = False
+        self._wpad = total_ch
+        self._wwidth = max(
+            (2 * g.K for g in self.groups if g.ok), default=1
+        )
+
+        nfast = len(self.fast)
+        self.f_group = np.asarray(group_of, dtype=np.int64)
+        self.f_ch_off = np.asarray(
+            [m.ch_off for m in self.fast], dtype=np.int64
+        )
+        self.f_node_off = np.asarray(
+            [m.node_off for m in self.fast], dtype=np.int64
+        )
+        self.f_warmup = np.asarray(
+            [m.config.warmup_cycles for m in self.fast], dtype=np.int64
+        )
+        self.f_mislimit = np.asarray(
+            [m.config.misroute_limit for m in self.fast], dtype=np.int64
+        )
+        self.m_lastprog = np.zeros(nfast, dtype=np.int64)
+        self.m_maxgrant = np.zeros(nfast, dtype=np.int64)
+        # Per-member run-loop bookkeeping, vectorized so the cycle loop
+        # touches Python only for members with work due this cycle.
+        self.m_inflight = np.zeros(nfast, dtype=np.int64)
+        self.m_total = np.asarray(
+            [m.total for m in self.fast], dtype=np.int64
+        )
+        self.m_genend = np.asarray(
+            [m.config.generation_cycles for m in self.fast], dtype=np.int64
+        )
+        self.m_dlthresh = np.asarray(
+            [m.config.deadlock_threshold for m in self.fast], dtype=np.int64
+        )
+        self.m_period = np.asarray(
+            [m.config.queue_sample_period for m in self.fast], dtype=np.int64
+        )
+        self.m_next_sample = self.f_warmup.copy()
+        self.m_act = np.ones(nfast, dtype=bool)
+        self.m_pending = np.zeros(nfast, dtype=bool)
+        self.m_nextgen = np.asarray(
+            [
+                m._arrival_heap[0][0] if m._arrival_heap else np.inf
+                for m in self.fast
+            ],
+            dtype=np.float64,
+        )
+
+        # -- slot arena (append-only; grown geometrically)
+        self.n_slots = 0
+        cap = 4096
+        for name, fill, dtype in _SLOT_FIELDS:
+            setattr(self, name, np.full(cap, fill, dtype=dtype))
+        # Wait channels of arbitration-parked headers: minimal candidates
+        # in the first K columns, escape candidates (when the header has
+        # misroute budget) in the next K, sentinel-padded.
+        self.pk_wchan = np.full(
+            (cap, self._wwidth), self._wpad, dtype=np.int64
+        )
+        self.live = np.empty(0, dtype=np.int64)
+        self._staged: List[int] = []
+        self._live_dirty = False
+        depths = {m.config.buffer_depth for m in self.fast}
+        # When every member shares one buffer depth (the common case) the
+        # capacity test is a scalar compare instead of a per-slot gather.
+        self._depth_one = depths.pop() if len(depths) == 1 else None
+
+    # -- slot arena ----------------------------------------------------------
+
+    def _alloc_slot(self, member: _FastMember, packet: Packet, cycle: int) -> int:
+        slot = self.n_slots
+        if slot >= len(self.pk_len):
+            new_cap = len(self.pk_len) * 2
+            for name, fill, dtype in _SLOT_FIELDS:
+                old = getattr(self, name)
+                grown = np.full(new_cap, fill, dtype=dtype)
+                grown[: len(old)] = old
+                setattr(self, name, grown)
+            grown = np.full(
+                (new_cap, self._wwidth), self._wpad, dtype=np.int64
+            )
+            grown[: len(self.pk_wchan)] = self.pk_wchan
+            self.pk_wchan = grown
+        self.n_slots = slot + 1
+        self.pk_sim[slot] = member.fidx
+        self.pk_len[slot] = packet.length
+        self.pk_src[slot] = packet.src
+        self.pk_dst[slot] = packet.dst
+        self.pk_pid[slot] = packet.pid
+        self.pk_created[slot] = packet.created
+        self.pk_state[slot] = _ROUTING
+        self.pk_head_node[slot] = packet.src
+        self.pk_head_dir[slot] = 0  # 0 encodes "no arrival direction yet"
+        self.pk_wait[slot] = cycle
+        self.pk_head_ch[slot] = -1
+        self.pk_tail_ch[slot] = -1
+        self.pk_launched[slot] = 0
+        self.pk_ejected[slot] = 0
+        self.pk_injected[slot] = -1
+        self.pk_hops[slot] = 0
+        self.pk_mis[slot] = 0
+        self.pk_depth[slot] = member.config.buffer_depth
+        self.pk_dormant[slot] = False
+        self.pk_arbwait[slot] = False
+        member.inflight += 1
+        self.m_inflight[member.fidx] += 1
+        self._staged.append(slot)
+        return slot
+
+    def _refresh_live(self) -> None:
+        live = self.live
+        if self._live_dirty:
+            if live.size:
+                live = live[self.pk_state[live] != _DONE]
+            self._live_dirty = False
+        if self._staged:
+            live = np.concatenate(
+                [live, np.asarray(self._staged, dtype=np.int64)]
+            )
+            self._staged.clear()
+        self.live = live
+
+    def _drop_member_slots(self, fidx: int) -> None:
+        live = self.live
+        if live.size:
+            mine = self.pk_sim[live] == fidx
+            # Dormant-mark so the held-channel scan in ``_move_vec``
+            # never advances a frozen member's worms.
+            self.pk_dormant[live[mine]] = True
+            self.live = live[~mine]
+        member = self.fast[fidx]
+        # Frozen members' worms never move again — drop their whole
+        # channel range from the held scan (ownership stays recorded
+        # for the finalize-time accounting).
+        self.ch_held[member.ch_off : member.ch_off + member.num_ch] = False
+
+    # -- stage 2: arbitration (vectorized two-phase) -------------------------
+
+    def _arbitrate_vec(self, cycle: int) -> None:
+        live = self.live
+        if live.size == 0:
+            return
+        state = self.pk_state[live]
+        routing = live[state == _ROUTING]
+        if routing.size:
+            # Parked headers (zero free candidates when last scanned)
+            # skip arbitration; a channel release is the only event that
+            # can make one eligible, so wake exactly those whose wait
+            # set intersects the channels freed since the last cycle.
+            aw = self.pk_arbwait[routing]
+            if aw.any():
+                parked = routing[aw]
+                routing = routing[~aw]
+                if self._any_freed:
+                    woken = parked[
+                        self.ch_freed[self.pk_wchan[parked]].any(axis=1)
+                    ]
+                    if woken.size:
+                        self.pk_arbwait[woken] = False
+                        routing = np.concatenate([routing, woken])
+        if self._any_freed:
+            self.ch_freed[:] = False
+            self._any_freed = False
+        req_slots: List = []
+        req_ch: List = []
+        req_mis: List = []
+        if routing.size:
+            if len(self.groups) == 1:
+                self._collect_requests(
+                    self.groups[0], routing, req_slots, req_ch, req_mis
+                )
+            else:
+                grp = self.f_group[self.pk_sim[routing]]
+                for gi, group in enumerate(self.groups):
+                    sel = grp == gi
+                    if sel.any():
+                        self._collect_requests(
+                            group, routing[sel], req_slots, req_ch, req_mis
+                        )
+        if req_slots:
+            slots = np.concatenate(req_slots)
+            chans = np.concatenate(req_ch)
+            mis = np.concatenate(req_mis)
+            # Phase 2, channel grants: local FCFS per contested channel
+            # is min (header_wait_since, pid) — lexsort and keep the
+            # first requester of each channel.
+            order = np.lexsort((self.pk_pid[slots], self.pk_wait[slots], chans))
+            slots = slots[order]
+            chans = chans[order]
+            mis = mis[order]
+            first = np.empty(len(chans), dtype=bool)
+            first[0] = True
+            first[1:] = chans[1:] != chans[:-1]
+            self._grant_channels(slots[first], chans[first], mis[first], cycle)
+        waiting_eject = live[state == _EJECT_WAIT]
+        if waiting_eject.size:
+            nodes = (
+                self.f_node_off[self.pk_sim[waiting_eject]]
+                + self.pk_head_node[waiting_eject]
+            )
+            free = self.ej_owner[nodes] < 0
+            if free.any():
+                contenders = waiting_eject[free]
+                nodes = nodes[free]
+                order = np.lexsort(
+                    (self.pk_pid[contenders], self.pk_wait[contenders], nodes)
+                )
+                contenders = contenders[order]
+                nodes = nodes[order]
+                first = np.empty(len(nodes), dtype=bool)
+                first[0] = True
+                first[1:] = nodes[1:] != nodes[:-1]
+                winners = contenders[first]
+                self.ej_owner[nodes[first]] = winners
+                self.pk_state[winners] = _EJECTING
+                self.pk_dormant[winners] = False
+                self.m_lastprog[self.pk_sim[winners]] = cycle
+
+    def _collect_requests(
+        self, group: _GroupTables, slots, req_slots, req_ch, req_mis
+    ) -> None:
+        sims = self.pk_sim[slots]
+        node = self.pk_head_node[slots]
+        dest = self.pk_dst[slots]
+        rows = (node * group.N + dest) * (group.num_dirs + 1) + self.pk_head_dir[
+            slots
+        ]
+        group.ensure_rows(rows, escape=False)
+        offs = self.f_ch_off[sims][:, None]
+        cand = group.cand[rows]
+        valid = cand >= 0
+        # -1 padding entries index a wrong-but-in-bounds channel; the
+        # ``valid`` mask discards whatever they read.
+        gchan = cand + offs
+        free = valid & (self.ch_owner[gchan] < 0)
+        has = free.any(axis=1)
+        idx = np.nonzero(has)[0]
+        if idx.size:
+            pick = free[idx].argmax(axis=1)
+            req_slots.append(slots[idx])
+            req_ch.append(gchan[idx, pick])
+            req_mis.append(group.cmis[rows[idx], pick])
+        # Misroute escapes: only headers with zero free minimal
+        # candidates and misroute budget left consult the escape table.
+        bidx = np.nonzero(~has)[0]
+        if bidx.size:
+            bslots = slots[bidx]
+            brows = rows[bidx]
+            K = group.K
+            pad = self._wpad
+            # Wait-set under construction: every candidate whose release
+            # could make this header eligible (minimal now; escape below
+            # for headers with budget).
+            wch = np.full((bidx.size, 2 * K), pad, dtype=np.int64)
+            wch[:, :K] = np.where(valid[bidx], gchan[bidx], pad)
+            requested = np.zeros(bidx.size, dtype=bool)
+            eidx = np.nonzero(
+                self.pk_mis[bslots] < self.f_mislimit[sims[bidx]]
+            )[0]
+            if eidx.size:
+                erows = brows[eidx]
+                group.ensure_rows(erows, escape=True)
+                cand = group.esc[erows]
+                valid = cand >= 0
+                gchan = cand + offs[bidx][eidx]
+                wch[eidx[:, None], K + np.arange(K)[None, :]] = np.where(
+                    valid, gchan, pad
+                )
+                free = valid & (self.ch_owner[gchan] < 0)
+                has = free.any(axis=1)
+                fidx = np.nonzero(has)[0]
+                if fidx.size:
+                    pick = free[fidx].argmax(axis=1)
+                    req_slots.append(bslots[eidx[fidx]])
+                    req_ch.append(gchan[fidx, pick])
+                    req_mis.append(group.emis[erows[fidx], pick])
+                    requested[eidx[fidx]] = True
+            # Headers that produced no request at all park until one of
+            # their wait channels is released (see ``_arbitrate_vec``).
+            pidx = np.nonzero(~requested)[0]
+            if pidx.size:
+                pslots = bslots[pidx]
+                self.pk_wchan[pslots, : 2 * K] = wch[pidx]
+                if 2 * K < self._wwidth:
+                    self.pk_wchan[pslots, 2 * K :] = pad
+                self.pk_arbwait[pslots] = True
+
+    def _grant_channels(self, slots, chans, mis, cycle: int) -> None:
+        sims = self.pk_sim[slots]
+        measured = cycle >= self.f_warmup[sims]
+        if measured.any():
+            np.maximum.at(
+                self.m_maxgrant,
+                sims[measured],
+                cycle - self.pk_wait[slots[measured]],
+            )
+        self.ch_owner[chans] = slots
+        self.ch_held[chans] = True
+        self.ch_mb[chans] = 0
+        prev = self.pk_head_ch[slots]
+        self.ch_prev[chans] = prev
+        linked = prev >= 0
+        if linked.any():
+            self.ch_next[prev[linked]] = chans[linked]
+        self.ch_next[chans] = -1
+        self.pk_head_ch[slots] = chans
+        new_tail = self.pk_tail_ch[slots] < 0
+        if new_tail.any():
+            self.pk_tail_ch[slots[new_tail]] = chans[new_tail]
+        self.pk_state[slots] = _MOVING
+        self.pk_hops[slots] += 1
+        self.pk_mis[slots] += mis
+        self.pk_dormant[slots] = False
+        self.m_lastprog[sims] = cycle
+
+    # -- stage 3: movement (vectorized chain recurrence) ---------------------
+
+    def _move_vec(self, cycle: int) -> None:
+        live = self.live
+        if live.size == 0:
+            return
+        pk_state = self.pk_state
+        pk_len = self.pk_len
+        pk_launched = self.pk_launched
+        pk_head_ch = self.pk_head_ch
+        pk_tail_ch = self.pk_tail_ch
+        ch_mb = self.ch_mb
+        ch_prev = self.ch_prev
+        ch_next = self.ch_next
+        movers = live[~self.pk_dormant[live]]
+        if movers.size == 0:
+            return
+        act = np.zeros(movers.size, dtype=bool)
+        state = pk_state[movers]
+        heads = pk_head_ch[movers]
+        # A: ejection consumes one flit per cycle from the head buffer.
+        pos = np.nonzero((state == _EJECTING) & (heads >= 0))[0]
+        if pos.size:
+            head = heads[pos]
+            drained = (ch_mb[head] & _MB_LOW) > 0
+            pos = pos[drained]
+            if pos.size:
+                head = head[drained]
+                ch_mb[head] -= 1
+                self.pk_ejected[movers[pos]] += 1
+                act[pos] = True
+        # B: shift one flit per held channel.  The scalar engine walks
+        # each worm head-first, so hold i (numbered from the tail) moves
+        # iff flits remain (moved < len), its upstream supplies a flit
+        # (prev buffer non-empty at walk start, or the source is still
+        # launching), and there is capacity — where head-first order
+        # makes capacity ``buffered_i < depth OR hold i+1 moves`` (that
+        # move frees one slot first).  All other reads see walk-start
+        # values (chains are disjoint), so per chain this is the linear
+        # recurrence  move_i = a_i | (b_i & move_{i+1}),  a = can&cap,
+        # b = can, solved for every chain at once by pointer doubling in
+        # O(log max_chain) passes instead of O(max_chain) rank passes.
+        launch_done: List = []
+        held = np.nonzero(self.ch_held)[0]
+        if held.size:
+            own = self.ch_owner[held]
+            # Dormant worms cannot move (nothing changed since they
+            # parked); frozen members' channels are dormant-marked too.
+            awake = ~self.pk_dormant[own]
+            held = held[awake]
+            own = own[awake]
+        if held.size:
+            length = pk_len[own]
+            prev = ch_prev[held]
+            mb = ch_mb[held]
+            # ``prev == -1`` wraps to the last channel — in bounds, and
+            # the tail fixup below overwrites what it read.
+            supply = (ch_mb[prev] & _MB_LOW) > 0
+            tails_b = np.nonzero(prev < 0)[0]
+            if tails_b.size:
+                supply[tails_b] = (
+                    pk_launched[own[tails_b]] < length[tails_b]
+                )
+            b = ((mb >> 32) < length) & supply
+            depth = self._depth_one
+            if depth is None:
+                cap = (mb & _MB_LOW) < self.pk_depth[own]
+            else:
+                cap = (mb & _MB_LOW) < depth
+            # Chain state packed per hold: 0 = cannot move (b false,
+            # absorbing under composition), 1 = undecided (supplied but
+            # at capacity — moves iff its downstream hold moves),
+            # 3 = moves outright.  Composing an undecided hold with the
+            # segment ahead of it just adopts that segment's state, so
+            # pointer doubling reduces to ``v[i] = v[i + 2**r]`` for the
+            # undecided set — decided holds are absorbing (0) or have a
+            # monotone move bit (3) and drop out, which shrinks the
+            # active set far faster than composing every linked hold.
+            v = b.astype(np.int8) * (1 + 2 * cap.astype(np.int8))
+            und = np.nonzero(v == 1)[0]
+            if und.size:
+                # Links are only ever chased *from* undecided holds, so
+                # build them for just those: the downstream channel of a
+                # held channel belongs to the same worm (hence is in the
+                # sorted held array) — find its local index by bisection.
+                # A decided partner's missing link (-1) is harmless: its
+                # ``jumped`` value is read into a lane the ``vp == 1``
+                # gate discards.
+                lnk = np.full(held.size, -1, dtype=np.int64)
+                nxtu = ch_next[held[und]]
+                has_n = nxtu >= 0
+                idx = und[has_n]
+                lnk[idx] = np.searchsorted(held, nxtu[has_n])
+                while idx.size:
+                    part = lnk[idx]
+                    vp = v[part]
+                    v[idx] = vp
+                    jumped = lnk[part]
+                    lnk[idx] = jumped
+                    idx = idx[(vp == 1) & (jumped >= 0)]
+            move = v == 3
+            moving = held[move]
+            if moving.size:
+                prev_m = prev[move]
+                own_m = own[move]
+                has_prev = prev_m >= 0
+                ch_mb[prev_m[has_prev]] -= 1
+                src_m = moving[~has_prev]
+                if src_m.size:
+                    slots = own_m[~has_prev]
+                    pk_launched[slots] += 1
+                    fresh = self.pk_injected[slots] < 0
+                    if fresh.any():
+                        self.pk_injected[slots[fresh]] = cycle
+                    done = pk_launched[slots] == pk_len[slots]
+                    if done.any():
+                        launch_done.append(slots[done])
+                ch_mb[moving] += _MB_BOTH
+                if self.loads is not None:
+                    counted = cycle >= self.ch_warm[moving]
+                    if counted.any():
+                        self.loads[moving[counted]] += 1
+                scratch = self.pk_scratch
+                scratch[own_m] = True
+                act |= scratch[movers]
+                scratch[own_m] = False
+        # C: header arrival at the next router.  ``heads`` is still the
+        # pre-stage snapshot: neither ejection nor flit movement changes
+        # ``pk_head_ch``, so no re-gather is needed.
+        pos = np.nonzero((state == _MOVING) & (heads >= 0))[0]
+        if pos.size:
+            head = heads[pos]
+            crossed = ch_mb[head] >= _MB_HI1
+            pos = pos[crossed]
+            if pos.size:
+                head = head[crossed]
+                slots = movers[pos]
+                dstloc = self.ch_dst_local[head]
+                self.pk_head_node[slots] = dstloc
+                self.pk_head_dir[slots] = self.ch_dir[head]
+                self.pk_wait[slots] = cycle
+                pk_state[slots] = np.where(
+                    dstloc == self.pk_dst[slots], _EJECT_WAIT, _ROUTING
+                )
+        # D: tail flits release drained channels (possibly several per
+        # worm per cycle, as in the engine's while-loop).  Only a worm
+        # that just released can release again (channel state is private
+        # to its chain), so later passes recheck just those.
+        tails = pk_tail_ch[movers]
+        sel = np.nonzero(tails >= 0)[0]
+        lengths = pk_len[movers]
+        while sel.size:
+            tail = tails[sel]
+            # Fully drained: every flit crossed (moved == length) and the
+            # buffer is empty — one packed compare covers both.
+            rel = ch_mb[tail] == (lengths[sel] << 32)
+            sel = sel[rel]
+            if sel.size == 0:
+                break
+            released = tail[rel]
+            self.ch_owner[released] = -1
+            self.ch_held[released] = False
+            self.ch_freed[released] = True
+            self._any_freed = True
+            next_tail = ch_next[released]
+            ch_next[released] = -1
+            ch_prev[released] = -1
+            ch_mb[released] = 0
+            # The new tail's upstream pointer must not dangle at the
+            # released channel: its supply is "launched < length" now
+            # (provably exhausted — the released channel carried every
+            # flit), exactly like the engine's popped hold list.
+            chained = next_tail >= 0
+            if chained.any():
+                ch_prev[next_tail[chained]] = -1
+            slots = movers[sel]
+            pk_tail_ch[slots] = next_tail
+            if not chained.all():
+                pk_head_ch[slots[~chained]] = -1
+            act[sel] = True
+            tails[sel] = next_tail
+            sel = sel[chained]
+        # E: delivery — ascending slot order is the engine's insertion-
+        # ordered ``active`` iteration, so accounting appends match.
+        pos = np.nonzero(
+            (pk_state[movers] == _EJECTING)
+            & (self.pk_ejected[movers] == lengths)
+        )[0]
+        if pos.size:
+            act[pos] = True
+            for slot in movers[pos]:
+                self.fast[int(self.pk_sim[slot])]._deliver(int(slot), cycle)
+        if launch_done:
+            for slot in np.sort(np.concatenate(launch_done)):
+                self.fast[int(self.pk_sim[slot])]._release_injection(int(slot))
+        if act.any():
+            # Duplicate member hits assign the same value — no reduction
+            # needed, so skip the np.unique pass.
+            self.m_lastprog[self.pk_sim[movers[act]]] = cycle
+        idle = np.nonzero(~act)[0]
+        if idle.size:
+            slots = movers[idle]
+            slots = slots[pk_state[slots] != _DONE]
+            # A zero-move scan stays zero until an arbitration grant
+            # wakes the worm (its buffers are private) — park it.
+            self.pk_dormant[slots] = True
+
+    # -- per-cycle member bookkeeping ---------------------------------------
+
+    def _finalize_fast(self, member: _FastMember) -> SimulationResult:
+        result = member.result
+        result.inflight_at_end = member.inflight
+        if member.config.track_channel_load and self.loads is not None:
+            result.channel_flits = [
+                int(x)
+                for x in self.loads[
+                    member.ch_off : member.ch_off + member.num_ch
+                ]
+            ]
+        grant_wait = int(self.m_maxgrant[member.fidx])
+        if grant_wait > result.max_grant_wait_cycles:
+            result.max_grant_wait_cycles = grant_wait
+        state = self.pk_state[: self.n_slots]
+        stalled = np.nonzero(
+            (self.pk_sim[: self.n_slots] == member.fidx)
+            & ((state == _ROUTING) | (state == _EJECT_WAIT))
+        )[0]
+        end = member._last_cycle
+        for slot in stalled:
+            age = end - int(self.pk_wait[slot])
+            if age > result.max_stall_age_cycles:
+                result.max_stall_age_cycles = age
+        return result
+
+    # -- the batched run loop ------------------------------------------------
+
+    def run(self) -> List[SimulationResult]:
+        members = self.members
+        fast = self.fast
+        scalars = [m for m in members if not m.fast]
+        max_total = max(m.total for m in members)
+        m_act = self.m_act
+        m_nextgen = self.m_nextgen
+        m_pending = self.m_pending
+        for cycle in range(max_total):
+            running = 0
+            for member in scalars:
+                if member.frozen:
+                    continue
+                if cycle >= member.total:
+                    member.frozen = True
+                    continue
+                member.run_cycle(cycle)
+                if not member.frozen:
+                    running += 1
+            if m_act.any():
+                expired = m_act & (self.m_total <= cycle)
+                if expired.any():
+                    for f in np.nonzero(expired)[0]:
+                        member = fast[int(f)]
+                        member.frozen = True
+                        member._last_cycle = member.total - 1
+                        m_act[f] = False
+                        self._drop_member_slots(int(f))
+            if m_act.any():
+                # Generation/injection touch Python only for members
+                # whose arrival calendar or injector backlog is due.
+                for f in np.nonzero(m_act & (m_nextgen <= cycle))[0]:
+                    member = fast[int(f)]
+                    if cycle >= member.config.generation_cycles:
+                        m_nextgen[f] = np.inf
+                    else:
+                        member._generate(cycle)
+                for f in np.nonzero(m_act & m_pending)[0]:
+                    fast[int(f)]._inject(cycle)
+                self._refresh_live()
+                self._arbitrate_vec(cycle)
+                self._move_vec(cycle)
+                for f in np.nonzero(m_act & (self.m_next_sample == cycle))[
+                    0
+                ]:
+                    member = fast[int(f)]
+                    member.result.backlog_samples.append(member._backlog)
+                    self.m_next_sample[f] += self.m_period[f]
+                dead = np.nonzero(
+                    m_act
+                    & (cycle - self.m_lastprog > self.m_dlthresh)
+                    & (self.m_inflight > 0)
+                )[0]
+                for f in dead:
+                    member = fast[int(f)]
+                    member.result.deadlock = True
+                    member.result.deadlock_cycle = cycle
+                    member.frozen = True
+                    member._last_cycle = cycle
+                    m_act[f] = False
+                    self._drop_member_slots(int(f))
+                running += int(m_act.sum())
+            if running == 0:
+                break
+        for member in fast:
+            if not member.frozen:
+                member._last_cycle = member.total - 1
+        results = []
+        for member in members:
+            if member.fast:
+                results.append(self._finalize_fast(member))
+            else:
+                results.append(member.finalize())
+        return results
+
+
+class ArrayWormholeSimulator:
+    """The array-backend equivalent of one-point ``WormholeSimulator``.
+
+    A batch of one.  Accepts the same sink/profiler hooks; points whose
+    feature set leaves the vectorized envelope (see
+    :func:`vectorized_envelope`) transparently run on a cycle-locked
+    event-engine member, so every configuration is supported and
+    bit-identical (documented per feature in docs/SIMULATOR.md).
+    """
+
+    def __init__(
+        self, algorithm, pattern, config: SimulationConfig,
+        sink=None, profiler=None,
+    ) -> None:
+        _require_numpy()
+        self._core = _BatchCore(
+            [(algorithm, pattern, config)],
+            sinks=[sink],
+            profilers=[profiler],
+        )
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether this point runs on the vectorized kernels (else it is
+        driven through a cycle-locked event-engine member)."""
+        return self._core.members[0].fast
+
+    def run(self) -> SimulationResult:
+        return self._core.run()[0]
+
+
+class BatchSimulator:
+    """Advance B independent operating points through one array engine.
+
+    ``points`` is a sequence of ``(algorithm, pattern, config)`` tuples;
+    :meth:`run` returns their :class:`SimulationResult` objects in input
+    order, each bit-identical to a solo run of the same point (on either
+    backend).  Points are cycle-locked: each simulated cycle advances
+    every still-running member, the vectorized ones all inside shared
+    numpy kernels — which is where the batched points-per-second
+    headline in BENCH_engine.json comes from.
+    """
+
+    def __init__(self, points: Sequence[tuple]) -> None:
+        _require_numpy()
+        self._core = _BatchCore(points)
+
+    @property
+    def batch_size(self) -> int:
+        return len(self._core.members)
+
+    @property
+    def vectorized_count(self) -> int:
+        """How many members run on the vectorized kernels."""
+        return len(self._core.fast)
+
+    def run(self) -> List[SimulationResult]:
+        return self._core.run()
+
+
+def make_simulator(
+    algorithm, pattern, config: SimulationConfig,
+    sink=None, profiler=None,
+):
+    """Build the simulator selected by ``config.backend``.
+
+    ``"event"`` (default) is the event-driven engine; ``"array"`` is the
+    numpy struct-of-arrays backend (requires the ``repro[array]``
+    extra).  Both expose ``run() -> SimulationResult`` and are
+    bit-identical per the cross-backend equivalence suite.
+    """
+    if config.backend == "array":
+        return ArrayWormholeSimulator(
+            algorithm, pattern, config, sink=sink, profiler=profiler
+        )
+    return WormholeSimulator(
+        algorithm, pattern, config, sink=sink, profiler=profiler
+    )

@@ -25,6 +25,9 @@ from typing import Dict, Optional, Tuple
 
 from ..faults.plan import FaultPlan
 
+BACKENDS: Tuple[str, ...] = ("event", "array")
+"""Engine backends selectable via :attr:`SimulationConfig.backend`."""
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -147,6 +150,20 @@ class SimulationConfig:
     retry_backoff_cap: int = 2_048
     """Upper bound on the retry backoff delay, in cycles."""
 
+    # -- engine backend -------------------------------------------------------
+
+    backend: str = "event"
+    """Engine implementation that executes this operating point:
+    ``"event"`` (the default event-driven
+    :class:`~repro.simulation.engine.WormholeSimulator`) or ``"array"``
+    (the numpy struct-of-arrays
+    :class:`~repro.simulation.array_engine.ArrayWormholeSimulator`,
+    which also powers :class:`~repro.simulation.array_engine.
+    BatchSimulator`).  Both backends are proven equivalent by
+    ``tests/simulation/test_engine_equivalence.py``; the array backend
+    needs the optional ``numpy`` dependency (``pip install
+    repro[array]``).  Part of the cache key, like every other field."""
+
     def __post_init__(self) -> None:
         if self.channel_bandwidth <= 0:
             raise ValueError("channel_bandwidth must be positive")
@@ -204,6 +221,10 @@ class SimulationConfig:
             raise ValueError("max_retries must be non-negative")
         if self.retry_backoff_base <= 0 or self.retry_backoff_cap <= 0:
             raise ValueError("retry backoff base and cap must be positive")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; known: {BACKENDS}"
+            )
 
     # -- derived quantities --------------------------------------------------
 
@@ -255,6 +276,12 @@ class SimulationConfig:
         if selection_threshold is not None:
             kwargs["selection_threshold"] = selection_threshold
         return replace(self, **kwargs)
+
+    def with_backend(self, backend: str) -> "SimulationConfig":
+        """Copy of this config executed by a different engine backend."""
+        from dataclasses import replace
+
+        return replace(self, backend=backend)
 
     def with_faults(self, fault_plan: FaultPlan) -> "SimulationConfig":
         """Copy of this config under a different fault schedule."""

@@ -24,6 +24,7 @@ from repro.analysis.runner import (
 from repro.faults import FaultEvent, FaultPlan
 from repro.routing import WestFirst, XY
 from repro.simulation import SimulationConfig
+from repro.simulation.array_engine import numpy_available
 from repro.topology import Hypercube, KAryNCube, Mesh2D
 from repro.traffic import UniformPattern
 
@@ -129,6 +130,7 @@ class TestCacheKey:
             "channel_series_period": 100,
             "collect_router_blocked": True,
             "collect_latency_histogram": True,
+            "backend": "array",
         }
         assert set(changed) == {
             f.name for f in dataclasses.fields(SimulationConfig)
@@ -340,6 +342,54 @@ class TestRunner:
         )
         for with_runner, serial in zip(series, baseline):
             assert with_runner.results == serial.results
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+    def test_array_backend_sweep_batches_and_matches_event(self):
+        # An unsupervised batch of backend="array" specs runs as ONE
+        # BatchSimulator pass — bit-identical to the event-engine sweep,
+        # with every point recorded (stats, cache, progress).
+        mesh = Mesh2D(8, 8)
+        loads = (0.3, 0.6, 0.9)
+        serial = run_sweep(
+            XY(mesh), UniformPattern(mesh), loads, FAST
+        )
+        runner = ParallelSweepRunner(jobs=2, cache=None)
+        batched = run_sweep(
+            XY(mesh), UniformPattern(mesh), loads,
+            FAST.with_backend("array"), runner=runner,
+        )
+        assert batched.results == serial.results
+        assert runner.stats.executed == len(loads)
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+    def test_mixed_backend_batch_keeps_input_order(self):
+        runner = ParallelSweepRunner(jobs=1, cache=None)
+        specs = [
+            _spec(load=0.3),
+            _spec(load=0.4, config=FAST.with_backend("array")),
+            _spec(load=0.5),
+            _spec(load=0.6, config=FAST.with_backend("array")),
+        ]
+        results = runner.run_points(specs)
+        assert len(results) == len(specs)
+        for spec, result in zip(specs, results):
+            assert result == spec.execute()
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+    def test_array_batch_populates_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        runner = ParallelSweepRunner(jobs=2, cache=cache)
+        specs = [
+            _spec(load=load, config=FAST.with_backend("array"))
+            for load in (0.3, 0.5)
+        ]
+        first = runner.run_points(specs)
+        assert runner.stats.executed == 2
+        again = ParallelSweepRunner(jobs=2, cache=cache)
+        second = again.run_points(specs)
+        assert second == first
+        assert again.stats.executed == 0
+        assert again.stats.cached == 2
 
     def test_unspecable_objects_fall_back_to_serial(self):
         mesh = Mesh2D(5, 5)

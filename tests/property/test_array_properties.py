@@ -1,0 +1,109 @@
+"""Property-based cross-backend guarantees for the array engine.
+
+Random operating points (shape, algorithm, pattern, load, buffer
+depth, message lengths, seed) must satisfy:
+
+* a :class:`BatchSimulator` batch of size 1 returns exactly the same
+  ``SimulationResult.to_dict()`` as a solo array-backend run;
+* a batched sweep returns per-point results — and therefore sweep
+  aggregates — identical to running each point alone on the event
+  engine.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+pytest.importorskip("numpy")
+
+from repro.analysis.runner import make_pattern, parse_topology_spec  # noqa: E402
+from repro.routing.registry import make_algorithm  # noqa: E402
+from repro.simulation.array_engine import (  # noqa: E402
+    ArrayWormholeSimulator,
+    BatchSimulator,
+)
+from repro.simulation.config import SimulationConfig  # noqa: E402
+from repro.simulation.engine import WormholeSimulator  # noqa: E402
+
+
+@st.composite
+def operating_point(draw):
+    m = draw(st.integers(3, 6))
+    algorithm = draw(
+        st.sampled_from(["xy", "west-first", "north-last", "negative-first"])
+    )
+    pattern = draw(st.sampled_from(["uniform", "transpose"]))
+    # matrix transpose requires a square mesh
+    n = m if pattern == "transpose" else draw(st.integers(3, 6))
+    config = SimulationConfig(
+        offered_load=draw(st.sampled_from([0.4, 0.8, 1.5])),
+        warmup_cycles=50,
+        measure_cycles=200,
+        seed=draw(st.integers(0, 10_000)),
+        buffer_depth=draw(st.sampled_from([1, 2, 4])),
+        message_lengths=draw(
+            st.sampled_from([(4, 16, 64), (5, 20, 60), (8,)])
+        ),
+        backend="array",
+    )
+    return f"mesh:{m}x{n}", algorithm, pattern, config
+
+
+def build(topo_spec, algorithm, pattern, config):
+    topology = parse_topology_spec(topo_spec)
+    return (
+        make_algorithm(algorithm, topology),
+        make_pattern(pattern, topology),
+        config,
+    )
+
+
+class TestBatchOfOne:
+    @settings(max_examples=15)
+    @given(operating_point())
+    def test_batch_of_one_equals_solo_array_run(self, point):
+        solo = ArrayWormholeSimulator(*build(*point)).run()
+        (batched,) = BatchSimulator([build(*point)]).run()
+        assert batched.to_dict() == solo.to_dict()
+
+
+class TestBatchedSweep:
+    @settings(max_examples=8)
+    @given(operating_point(), st.sampled_from([(0.3, 0.7, 1.1, 1.6)]))
+    def test_batched_sweep_matches_per_point_event_runs(
+        self, point, loads
+    ):
+        # One operating point swept over loads, as a figure sweep would
+        # submit it: the batch must reproduce every per-point event run
+        # (hence any aggregate computed from them) exactly.
+        topo_spec, algorithm, pattern, config = point
+        import dataclasses
+
+        sweep = [
+            build(
+                topo_spec, algorithm, pattern,
+                dataclasses.replace(config, offered_load=load),
+            )
+            for load in loads
+        ]
+        batched = BatchSimulator(sweep).run()
+        solo = [
+            WormholeSimulator(
+                *build(
+                    topo_spec, algorithm, pattern,
+                    dataclasses.replace(
+                        config, offered_load=load, backend="event"
+                    ),
+                )
+            ).run()
+            for load in loads
+        ]
+        assert [r.to_dict() for r in batched] == [
+            r.to_dict() for r in solo
+        ]
+        batch_delivered = sum(r.delivered_packets for r in batched)
+        solo_delivered = sum(r.delivered_packets for r in solo)
+        assert batch_delivered == solo_delivered
+        assert [r.avg_latency_us for r in batched] == [
+            r.avg_latency_us for r in solo
+        ]

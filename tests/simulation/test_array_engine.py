@@ -1,0 +1,300 @@
+"""Array-backend specifics the three-way equivalence suite doesn't cover:
+the numpy gate (clear error without the optional extra), backend
+dispatch, vectorized-envelope classification, heterogeneous batches,
+LUT-cap demotion to the scalar fallback, the cross-batch routing-table
+cache, and the golden fingerprints on the array backend.
+"""
+
+import dataclasses
+
+import pytest
+
+import repro.simulation.array_engine as ae
+from repro.analysis.runner import make_pattern, parse_topology_spec
+from repro.faults.plan import FaultPlan
+from repro.observability import ListSink
+from repro.routing.registry import make_algorithm
+from repro.simulation.array_engine import (
+    ArrayWormholeSimulator,
+    BatchSimulator,
+    make_simulator,
+    numpy_available,
+    vectorized_envelope,
+)
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import WormholeSimulator
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy not installed"
+)
+
+
+def build_point(
+    topo_spec="mesh:5x5", algorithm="west-first", pattern="uniform",
+    **overrides,
+):
+    topology = parse_topology_spec(topo_spec)
+    kwargs = dict(
+        offered_load=1.2, warmup_cycles=80, measure_cycles=300, seed=3
+    )
+    kwargs.update(overrides)
+    config = SimulationConfig(**kwargs)
+    return (
+        make_algorithm(algorithm, topology),
+        make_pattern(pattern, topology),
+        config,
+    )
+
+
+def event_result(point):
+    algorithm, pattern, config = point
+    return WormholeSimulator(
+        algorithm, pattern, config.with_backend("event")
+    ).run()
+
+
+class TestNumpyGate:
+    """``backend="array"`` must fail loudly — not mysteriously — on a
+    minimal install, while the event backend keeps working."""
+
+    def test_array_without_numpy_raises_clear_error(self, monkeypatch):
+        monkeypatch.setattr(ae, "np", None)
+        algorithm, pattern, config = build_point()
+        with pytest.raises(RuntimeError, match=r"repro\[array\]"):
+            make_simulator(
+                algorithm, pattern, config.with_backend("array")
+            )
+        with pytest.raises(RuntimeError, match=r"backend='event'"):
+            BatchSimulator([(algorithm, pattern, config)])
+
+    def test_event_backend_works_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(ae, "np", None)
+        assert not numpy_available()
+        algorithm, pattern, config = build_point(measure_cycles=120)
+        sim = make_simulator(algorithm, pattern, config)
+        assert isinstance(sim, WormholeSimulator)
+        assert sim.run().generated_packets > 0
+
+
+class TestDispatch:
+    def test_event_backend_builds_event_simulator(self):
+        algorithm, pattern, config = build_point()
+        sim = make_simulator(algorithm, pattern, config)
+        assert isinstance(sim, WormholeSimulator)
+
+    @needs_numpy
+    def test_array_backend_builds_array_simulator(self):
+        algorithm, pattern, config = build_point()
+        sim = make_simulator(
+            algorithm, pattern, config.with_backend("array")
+        )
+        assert isinstance(sim, ArrayWormholeSimulator)
+        assert sim.vectorized
+
+    def test_unknown_backend_rejected_by_config(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            SimulationConfig(backend="gpu")
+
+
+class TestVectorizedEnvelope:
+    """The envelope predicate is pure config — no numpy needed — and
+    names exactly the features the numpy kernels carry; everything else
+    rides the cycle-locked scalar member (still bit-identical)."""
+
+    def test_default_config_is_in_envelope(self):
+        assert vectorized_envelope(SimulationConfig())
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(virtual_channels=2),
+            dict(output_selection="random"),
+            dict(input_selection="random"),
+            dict(packet_timeout=100),
+            dict(channel_series_period=50),
+            dict(collect_router_blocked=True),
+            dict(collect_latency_histogram=True),
+        ],
+    )
+    def test_feature_leaves_envelope(self, overrides):
+        assert not vectorized_envelope(SimulationConfig(**overrides))
+
+    def test_fault_plan_leaves_envelope(self):
+        topology = parse_topology_spec("mesh:5x5")
+        plan = FaultPlan.random_links(topology, 2, seed=1, start=50)
+        assert not vectorized_envelope(SimulationConfig(fault_plan=plan))
+
+    @needs_numpy
+    def test_sink_demotes_to_scalar_member_but_stays_identical(self):
+        algorithm, pattern, config = build_point()
+        sink = ListSink()
+        sim = ArrayWormholeSimulator(
+            algorithm, pattern, config.with_backend("array"), sink=sink
+        )
+        assert not sim.vectorized
+        result = sim.run()
+        assert result.to_dict() == event_result(build_point()).to_dict()
+        assert sink.events
+
+
+@needs_numpy
+class TestBatchSimulator:
+    def test_heterogeneous_batch_matches_solo_runs_in_order(self):
+        # Mixed topologies, algorithms, loads, and envelope membership
+        # (the VC=2 point runs on the scalar fallback) in one batch.
+        points = [
+            build_point("mesh:5x5", "west-first", seed=3),
+            build_point("mesh:4x6", "north-last", seed=5, offered_load=0.8),
+            build_point("cube:4", "p-cube", seed=7, offered_load=2.0),
+            build_point("mesh:5x5", "west-first", seed=11),
+            build_point(
+                "torus:4x2", "negative-first-torus", seed=9,
+                offered_load=0.6, virtual_channels=2,
+            ),
+        ]
+        batch = BatchSimulator(
+            [(a, p, c.with_backend("array")) for a, p, c in points]
+        )
+        assert batch.batch_size == 5
+        assert batch.vectorized_count == 4
+        results = batch.run()
+        assert len(results) == 5
+        for point, result in zip(points, results):
+            assert result.to_dict() == event_result(point).to_dict()
+
+    def test_deadlock_member_freezes_without_disturbing_others(self):
+        # Unrestricted minimal routing at extreme load deadlocks (the
+        # known point from test_deadlock_diagnostics); its batch
+        # neighbours must still finish with solo-identical results.
+        from repro.core import TurnModel
+        from repro.routing import TurnRestrictedMinimal
+
+        def deadlock_point():
+            mesh = parse_topology_spec("mesh:6x6")
+            algorithm = TurnRestrictedMinimal(
+                mesh, TurnModel.from_prohibited("none", 2, set())
+            )
+            config = SimulationConfig(
+                offered_load=8.0, warmup_cycles=0,
+                measure_cycles=30_000, deadlock_threshold=1_200, seed=3,
+            )
+            return algorithm, make_pattern("uniform", mesh), config
+
+        points = [
+            build_point("mesh:5x5", "west-first", seed=3),
+            deadlock_point(),
+            build_point("mesh:5x5", "north-last", seed=13),
+        ]
+        results = BatchSimulator(
+            [(a, p, c.with_backend("array")) for a, p, c in points]
+        ).run()
+        assert results[1].deadlock
+        for builder, result in zip(
+            [
+                lambda: build_point("mesh:5x5", "west-first", seed=3),
+                deadlock_point,
+                lambda: build_point("mesh:5x5", "north-last", seed=13),
+            ],
+            results,
+        ):
+            assert result.to_dict() == event_result(builder()).to_dict()
+
+    def test_lut_cap_demotes_to_scalar_fallback(self, monkeypatch):
+        monkeypatch.setattr(ae, "_LUT_ENTRY_CAP", 0)
+        monkeypatch.setattr(ae, "_GROUP_CACHE", {})
+        algorithm, pattern, config = build_point()
+        sim = ArrayWormholeSimulator(
+            algorithm, pattern, config.with_backend("array")
+        )
+        assert not sim.vectorized
+        assert (
+            sim.run().to_dict() == event_result(build_point()).to_dict()
+        )
+
+    def test_group_cache_shared_and_bounded(self, monkeypatch):
+        monkeypatch.setattr(ae, "_GROUP_CACHE", {})
+        a1, p1, c1 = build_point(seed=3)
+        a2, p2, c2 = build_point(seed=5)
+        BatchSimulator([
+            (a1, p1, c1.with_backend("array")),
+            (a2, p2, c2.with_backend("array")),
+        ])
+        assert len(ae._GROUP_CACHE) == 1  # same algorithm+topology key
+        for k in range(ae._GROUP_CACHE_MAX + 2):
+            a, p, c = build_point(f"mesh:3x{k + 3}", measure_cycles=50)
+            ArrayWormholeSimulator(a, p, c.with_backend("array"))
+        assert len(ae._GROUP_CACHE) <= ae._GROUP_CACHE_MAX
+
+
+# The four golden operating points (tests/simulation/
+# test_selection_engine.py pins these against the event engine; the
+# array backend must reproduce them bit-for-bit).
+GOLDEN = [
+    (
+        "mesh:8x8", "west-first", "uniform",
+        dict(offered_load=1.2, seed=3, warmup_cycles=500,
+             measure_cycles=2_000),
+        (71, 65, 7870, 10641, 9666, 343, 0, 218, 6),
+    ),
+    (
+        "mesh:8x8", "xy", "transpose",
+        dict(offered_load=0.8, seed=11, warmup_cycles=400,
+             measure_cycles=1_500),
+        (37, 36, 3400, 4860, 4242, 212, 0, 213, 1),
+    ),
+    (
+        "cube:6", "p-cube", "uniform",
+        dict(offered_load=2.0, seed=5, warmup_cycles=300,
+             measure_cycles=1_200),
+        (57, 51, 6780, 8251, 7511, 160, 0, 222, 6),
+    ),
+    (
+        "torus:6x2", "negative-first-torus", "uniform",
+        dict(offered_load=0.6, seed=9, warmup_cycles=300,
+             measure_cycles=1_200, virtual_channels=2),
+        (14, 14, 520, 564, 564, 58, 8, 1, 0),
+    ),
+]
+
+FINGERPRINT_FIELDS = (
+    "generated_packets", "delivered_packets", "delivered_flits",
+    "total_latency_cycles", "total_net_latency_cycles", "total_hops",
+    "total_misroutes", "max_grant_wait_cycles", "inflight_at_end",
+)
+
+
+@needs_numpy
+class TestGoldenFingerprintsOnArrayBackend:
+    @pytest.mark.parametrize(
+        "topo_spec,algorithm,pattern,overrides,expected", GOLDEN
+    )
+    def test_golden_fingerprint(
+        self, topo_spec, algorithm, pattern, overrides, expected
+    ):
+        topology = parse_topology_spec(topo_spec)
+        config = SimulationConfig(backend="array", **overrides)
+        result = make_simulator(
+            make_algorithm(algorithm, topology),
+            make_pattern(pattern, topology),
+            config,
+        ).run()
+        fingerprint = tuple(
+            getattr(result, name) for name in FINGERPRINT_FIELDS
+        )
+        assert fingerprint == expected
+
+    def test_goldens_as_one_batch(self):
+        points = []
+        for topo_spec, algorithm, pattern, overrides, _ in GOLDEN:
+            topology = parse_topology_spec(topo_spec)
+            points.append((
+                make_algorithm(algorithm, topology),
+                make_pattern(pattern, topology),
+                SimulationConfig(backend="array", **overrides),
+            ))
+        results = BatchSimulator(points).run()
+        for (_, _, _, _, expected), result in zip(GOLDEN, results):
+            fingerprint = tuple(
+                getattr(result, name) for name in FINGERPRINT_FIELDS
+            )
+            assert fingerprint == expected

@@ -95,6 +95,51 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "max sustainable throughput" in out
 
+    def test_simulate_array_backend_matches_event(self, capsys):
+        pytest.importorskip("numpy")
+        outputs = []
+        for backend in ("event", "array"):
+            code = main(
+                [
+                    "simulate", "west-first",
+                    "--topology", "mesh:4x4",
+                    "--load", "0.8",
+                    "--warmup", "100",
+                    "--cycles", "500",
+                    "--backend", backend,
+                ]
+            )
+            assert code == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]  # bit-identical backends
+
+    def test_sweep_array_backend(self, capsys):
+        pytest.importorskip("numpy")
+        code = main(
+            [
+                "sweep", "west-first",
+                "--topology", "mesh:4x4",
+                "--loads", "0.3,0.6",
+                "--warmup", "100",
+                "--cycles", "400",
+                "--backend", "array",
+                "--no-cache",
+            ]
+        )
+        assert code == 0
+        assert "max sustainable throughput" in capsys.readouterr().out
+
+    def test_backend_flag_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "simulate", "xy",
+                    "--topology", "mesh:4x4",
+                    "--load", "0.5",
+                    "--backend", "gpu",
+                ]
+            )
+
     def test_figure_unknown_exits(self):
         with pytest.raises(SystemExit):
             main(["figure", "fig99"])
