@@ -192,9 +192,10 @@ def bench_points(
 
     ``backend="array"`` returns the same operating points re-labelled
     ``<id>@array`` and pinned to the array engine, so the committed
-    report keeps one trajectory per backend.  (The observability and
-    fault points exercise the array backend's cycle-locked scalar
-    fallback — features outside the vectorized envelope.)
+    report keeps one trajectory per backend.  (Since the envelope
+    widening, the observability and fault points run on the vectorized
+    kernels too — only multi-VC and legacy selection policies still
+    exercise the cycle-locked scalar fallback.)
     """
     points = [p for p in CANONICAL_POINTS if p.quick] if quick else list(
         CANONICAL_POINTS
@@ -236,16 +237,45 @@ class BatchBenchPoint:
     (0 = all of them).  The quick CI point samples a handful to keep the
     job short; the committed full point times every one."""
 
+    fault_links: int = 0
+    """Fail this many links mid-run in every member (each member's plan
+    seeded from its own simulation seed, so the batch is a paired fault
+    campaign: same trial shape as ``repro faults``)."""
+
+    packet_timeout: int = 0
+    max_retries: int = 0
+    drain_cycles: int = 0
+    selection: str = "xy"
+    """Output-selection policy for every member (the congestion-aware
+    policies exercise the vectorized occupancy/credit reads)."""
+
+    selection_threshold: int = 2
+
     def config(self, seed: int, backend: str) -> SimulationConfig:
-        return SimulationConfig(
+        kwargs: Dict[str, object] = dict(
             offered_load=self.offered_load,
             warmup_cycles=self.warmup_cycles,
             measure_cycles=self.measure_cycles,
             seed=seed,
             buffer_depth=self.buffer_depth,
             track_channel_load=self.track_channel_load,
+            drain_cycles=self.drain_cycles,
+            output_selection=self.selection,
+            selection_threshold=self.selection_threshold,
             backend=backend,
         )
+        if self.fault_links:
+            topology = parse_topology_spec(self.topology)
+            kwargs["fault_plan"] = FaultPlan.random_links(
+                topology, self.fault_links, seed=seed + 1,
+                start=self.warmup_cycles // 2,
+            )
+            kwargs["packet_timeout"] = self.packet_timeout
+            kwargs["max_retries"] = self.max_retries
+        elif self.packet_timeout:
+            kwargs["packet_timeout"] = self.packet_timeout
+            kwargs["max_retries"] = self.max_retries
+        return SimulationConfig(**kwargs)  # type: ignore[arg-type]
 
     def build(self, backend: str) -> List[tuple]:
         """(algorithm, pattern, config) triples for the whole batch —
@@ -274,6 +304,12 @@ class BatchBenchPoint:
             "track_channel_load": self.track_channel_load,
             "base_seed": self.base_seed,
             "event_sample": self.event_sample,
+            "fault_links": self.fault_links,
+            "packet_timeout": self.packet_timeout,
+            "max_retries": self.max_retries,
+            "drain_cycles": self.drain_cycles,
+            "selection": self.selection,
+            "selection_threshold": self.selection_threshold,
         }
 
 
@@ -293,6 +329,31 @@ BATCH_POINTS: Tuple[BatchBenchPoint, ...] = (
         algorithm="west-first", pattern="uniform", offered_load=1.5,
         batch_size=48, warmup_cycles=150, measure_cycles=600,
         buffer_depth=4, quick=True, event_sample=12,
+    ),
+    # The widened-envelope workloads (see docs/PERFORMANCE.md): a paired
+    # fault campaign in the PR 2 shape — every member fails seeded links
+    # mid-run with the watchdog + bounded retries active — and a
+    # credit-steered selection sweep in the PR 6 comparison-grid shape.
+    # Both ran 100% on the scalar fallback before the envelope widening.
+    BatchBenchPoint(
+        id="mesh16-faultsweep", topology="mesh:16x16",
+        algorithm="west-first", pattern="uniform", offered_load=1.2,
+        batch_size=256, warmup_cycles=500, measure_cycles=2_000,
+        fault_links=4, packet_timeout=800, max_retries=2,
+        drain_cycles=500, event_sample=16,
+    ),
+    BatchBenchPoint(
+        id="mesh16-mc-selsweep", topology="mesh:16x16",
+        algorithm="west-first", pattern="uniform", offered_load=2.0,
+        batch_size=160, warmup_cycles=500, measure_cycles=1_500,
+        selection="max-credits", event_sample=16,
+    ),
+    BatchBenchPoint(
+        id="mesh8-faultsweep-quick", topology="mesh:8x8",
+        algorithm="west-first", pattern="uniform", offered_load=0.5,
+        batch_size=48, warmup_cycles=150, measure_cycles=600,
+        fault_links=3, packet_timeout=400, max_retries=2,
+        drain_cycles=200, quick=True, event_sample=12,
     ),
 )
 

@@ -49,6 +49,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from .supervision import (
     BatchReport,
     CampaignJournal,
+    PointExecutionError,
     PointFailure,
     SupervisedPool,
 )
@@ -275,6 +276,53 @@ def point_spec(
         pattern=pattern_name,
         config=config,
     )
+
+
+# ---------------------------------------------------------------------------
+# Array-backend batching
+# ---------------------------------------------------------------------------
+
+
+def array_batch_indices(
+    specs: Sequence[PointSpec], pending: Sequence[int]
+) -> List[int]:
+    """The subset of ``pending`` indices eligible for one batched
+    array-engine pass.
+
+    A point qualifies when its spec carries a real config with
+    ``backend == "array"`` and can ``build()`` live objects; duck-typed
+    specs (``execute()``/``cache_key()`` only — e.g. the chaos-test
+    specs) always take the generic per-point paths.  Shared by the
+    inline batching fast path and the supervised sharding path so the
+    two can never disagree about membership.
+    """
+    return [
+        i
+        for i in pending
+        if getattr(getattr(specs[i], "config", None), "backend", None)
+        == "array"
+        and hasattr(specs[i], "build")
+    ]
+
+
+@dataclass
+class _ArrayShardSpec:
+    """A picklable sub-batch of array-backend points for one supervised
+    worker: ``execute()`` runs them as a single :class:`BatchSimulator`
+    pass and returns their results in shard order."""
+
+    indices: Tuple[int, ...]
+    """Positions of the shard's points in the parent batch."""
+
+    specs: Tuple[PointSpec, ...]
+    """The point specs, parallel to ``indices``."""
+
+    def execute(self) -> List[SimulationResult]:
+        points = []
+        for spec in self.specs:
+            algorithm, pattern = spec.build()
+            points.append((algorithm, pattern, spec.config))
+        return BatchSimulator(points).run()
 
 
 # ---------------------------------------------------------------------------
@@ -601,25 +649,19 @@ class ParallelSweepRunner:
             if not pending:
                 return BatchReport(results, batch_failures)
 
-            # Array-backend points execute as ONE batched engine pass in
-            # this process: stacking them is the entire point of the
-            # backend (numpy kernels advance every member per cycle), and
-            # it beats fanning them out over worker processes.  Results
-            # are bit-identical to per-point runs (equivalence suite) and
+            # Array-backend points execute as batched engine passes:
+            # stacking them is the entire point of the backend (numpy
+            # kernels advance every member per cycle), and it beats
+            # fanning them out one per worker process.  Results are
+            # bit-identical to per-point runs (equivalence suite) and
             # are recorded per point, so cache/journal/progress behave
-            # exactly as if each had run alone.  Supervised campaigns
-            # keep per-point workers instead — crash isolation and the
-            # per-point watchdog don't compose with a shared arena.
+            # exactly as if each had run alone.  Unsupervised batches
+            # run as ONE in-process pass; supervised campaigns shard
+            # the set into per-worker sub-batches (crash isolation and
+            # the wall-clock watchdog then apply per shard, with the
+            # timeout scaled by shard size).
+            abatch = array_batch_indices(specs, pending)
             if not self.supervised:
-                abatch = [
-                    i for i in pending
-                    # Duck-typed specs (execute()/cache_key() only, no
-                    # config or build()) always take the generic paths.
-                    if getattr(
-                        getattr(specs[i], "config", None), "backend", None
-                    ) == "array"
-                    and hasattr(specs[i], "build")
-                ]
                 if len(abatch) > 1:
                     points = []
                     for i in abatch:
@@ -634,6 +676,12 @@ class ParallelSweepRunner:
                     pending = [i for i in pending if i not in done]
                     if not pending:
                         return BatchReport(results, batch_failures)
+            elif len(abatch) > 1:
+                pending = self._run_supervised_shards(
+                    specs, pending, abatch, results, batch_failures, report
+                )
+                if not pending:
+                    return BatchReport(results, batch_failures)
 
             if not self.supervised and (self.jobs == 1 or len(pending) == 1):
                 for i in pending:
@@ -682,6 +730,104 @@ class ParallelSweepRunner:
             self.stats.wall_seconds += time.perf_counter() - started
         batch_failures.sort(key=lambda f: f.index)
         return BatchReport(results, batch_failures)
+
+    def _run_supervised_shards(
+        self,
+        specs: Sequence[PointSpec],
+        pending: List[int],
+        abatch: List[int],
+        results: List[Optional[SimulationResult]],
+        batch_failures: List[PointFailure],
+        report: Optional[ProgressCallback],
+    ) -> List[int]:
+        """Run the batch's array-backend points as supervised per-worker
+        sub-batches; returns the still-pending indices (the non-array
+        remainder, for the per-point pool).
+
+        Each shard is one :class:`_ArrayShardSpec` — a contiguous slice
+        of the eligible points, at most one per worker — executed as a
+        single batched engine pass inside a supervised worker.  Crash/
+        timeout/retry semantics apply per shard: the wall-clock limit
+        scales with the largest shard (a shard does up to that many
+        points' work), and a permanently failed shard is expanded into
+        one :class:`PointFailure` per member point so downstream
+        manifest handling stays per-point.
+        """
+        workers = min(self.jobs, len(abatch))
+        bound = -(-len(abatch) // workers)  # ceil: the largest shard
+        shards = [
+            _ArrayShardSpec(
+                indices=tuple(abatch[lo : lo + bound]),
+                specs=tuple(specs[i] for i in abatch[lo : lo + bound]),
+            )
+            for lo in range(0, len(abatch), bound)
+        ]
+        pool = SupervisedPool(
+            workers=min(workers, len(shards)),
+            point_timeout=(
+                None
+                if self.point_timeout is None
+                else self.point_timeout * bound
+            ),
+            max_retries=self.max_point_retries,
+            retry_backoff_base=self.retry_backoff_base,
+            retry_backoff_cap=self.retry_backoff_cap,
+        )
+
+        def on_point(shard_index, shard_results, attempts, duration):
+            shard = shards[shard_index]
+            # Duration amortises over the shard: the per-point journal
+            # numbers stay comparable with per-point execution.
+            per_point = duration / max(len(shard.indices), 1)
+            for i, result in zip(shard.indices, shard_results):
+                results[i] = result
+                self._record(
+                    specs[i],
+                    result,
+                    report,
+                    attempts=attempts,
+                    duration=per_point,
+                )
+
+        def expand_failure(failure: PointFailure) -> List[PointFailure]:
+            shard = shards[failure.index]
+            return [
+                PointFailure(
+                    index=i,
+                    spec=specs[i],
+                    cause=failure.cause,
+                    attempts=failure.attempts,
+                    duration=failure.duration / max(len(shard.indices), 1),
+                    message=failure.message,
+                    traceback=failure.traceback,
+                )
+                for i in shard.indices
+            ]
+
+        def on_failure(failure):
+            for point_failure in expand_failure(failure):
+                batch_failures.append(point_failure)
+                self.failures.append(point_failure)
+                self.stats.failed += 1
+                if self.journal is not None:
+                    self.journal.record_failure(point_failure)
+
+        def on_retry(shard_index, cause, attempt):
+            self.stats.retried += 1
+
+        try:
+            pool.run(
+                [(k, shard) for k, shard in enumerate(shards)],
+                keep_going=self.keep_going,
+                on_point=on_point,
+                on_failure=on_failure,
+                on_retry=on_retry,
+            )
+        except PointExecutionError as exc:
+            # Fail-fast: surface the first member point, not the shard.
+            raise PointExecutionError(expand_failure(exc.failure)[0]) from exc
+        done = set(abatch)
+        return [i for i in pending if i not in done]
 
     def _record(
         self,

@@ -50,7 +50,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .analysis import FAST, FIGURE_HARNESSES, FULL, format_figure
 from .analysis.bench import (
@@ -370,6 +370,33 @@ def _make_runner(args) -> ParallelSweepRunner:
         raise SystemExit(str(exc)) from exc
 
 
+def _print_array_coverage(args, configs, force: bool = False) -> None:
+    """For ``--backend array`` runs: print what fraction of the points
+    ride the vectorized kernels (and why the rest demoted to the
+    scalar-member fallback), so silent fast-path loss is visible."""
+    if not force and getattr(args, "backend", "event") != "array":
+        return
+    if not configs or getattr(args, "json", False):
+        return
+    from .simulation.array_engine import demotion_reasons
+
+    reasons_per_point = [demotion_reasons(config) for config in configs]
+    vectorized = sum(1 for reasons in reasons_per_point if not reasons)
+    line = (
+        f"[array backend: {vectorized}/{len(configs)} point(s) "
+        f"vectorized ({vectorized / len(configs):.0%})"
+    )
+    if vectorized < len(configs):
+        counts: Dict[str, int] = {}
+        for reasons in reasons_per_point:
+            for reason in reasons:
+                counts[reason] = counts.get(reason, 0) + 1
+        line += "; demoted by " + ", ".join(
+            f"{reason} x{count}" for reason, count in sorted(counts.items())
+        )
+    print(line + "]")
+
+
 def _finish_runner(runner: ParallelSweepRunner, args) -> int:
     """Print the runner's stats line and failure manifest; close the
     journal.  Returns the command exit code: 0 clean, 3 when points
@@ -423,6 +450,7 @@ def cmd_sweep(args) -> int:
         f"max sustainable throughput: "
         f"{series.max_sustainable_throughput():.1f} flits/us"
     )
+    _print_array_coverage(args, [_config(args)] * len(loads))
     return _finish_runner(runner, args)
 
 
@@ -518,6 +546,7 @@ def cmd_faults(args) -> int:
         print()
         for row in campaign.rows():
             print(row)
+    _print_array_coverage(args, [config])
     return _finish_runner(runner, args)
 
 
@@ -653,6 +682,11 @@ def cmd_bench(args) -> int:
     )
     print()
     print(report.render())
+    if args.backend != "event":
+        configs = [
+            p.config() for p in points if p.backend == "array"
+        ] + [p.config(p.base_seed, "array") for p in batch]
+        _print_array_coverage(args, configs, force=True)
     if args.out:
         write_report(report, args.out)
         print(f"report written to {args.out}")

@@ -14,24 +14,33 @@ B Python interpreter loops.
 ``tests/simulation/test_engine_equivalence.py`` and the golden
 fingerprints; see docs/SIMULATOR.md for the per-feature table): every
 feature is *bit-identical* to the event engine.  Operating points inside
-the *vectorized envelope* — single virtual channel, ``xy`` output /
-``fcfs`` input selection, empty fault plan, watchdog off, no trace sink,
-no collectors, no profiler — run arbitration and movement as numpy
-kernels whose update order provably replays the scalar engine's
-(head-first flit shifting via a rank walk over disjoint chains;
-two-phase arbitration via a lexsort that computes exactly the local-FCFS
-winner per contested channel).  Points outside the envelope (virtual
-channels, faults, retries, policies that draw from the RNG,
-observability) fall back to driving a cycle-locked
+the *vectorized envelope* — single virtual channel, any selection policy
+from ``repro.routing.selection`` (``xy``, ``round-robin``,
+``max-credits``, ``threshold``) with ``fcfs`` input selection — run
+arbitration and movement as numpy kernels whose update order provably
+replays the scalar engine's (head-first flit shifting via a rank walk
+over disjoint chains; two-phase arbitration via a lexsort that computes
+exactly the local-FCFS winner per contested channel).  Fault plans,
+per-packet stall watchdogs with bounded-backoff retries, and the
+streaming collectors (channel-util series, router blocked cycles,
+latency histograms) are vectorized too: failures become per-cycle dead
+masks over the LUT candidate arrays, watchdog ages are array compares,
+and collector counters are scatter-adds over the shared arena.  Points
+outside the envelope (virtual channels, legacy policies that draw from
+the RNG, trace sinks, profilers) fall back to driving a cycle-locked
 :class:`~repro.simulation.engine.WormholeSimulator` member — the same
 code, therefore trivially bit-identical — so the whole configuration
 space is supported and the batch API is uniform.
+:func:`demotion_reasons` names the gate(s) any point failed, and
+:class:`BatchSimulator` counts demotions per reason so silent fast-path
+loss is visible (``repro sweep/faults/bench --backend array`` print the
+coverage fraction).
 
 Generation and injection stay scalar per member even in the vectorized
 envelope: they are event-driven (arrival calendar) and must replay the
 member's ``random.Random(seed)`` draw sequence exactly.  Both engines
-draw nothing on the hot path of the envelope (``xy``/``fcfs`` never
-touch the RNG), so the streams stay aligned.
+draw nothing on the hot path of the envelope (none of the vectorized
+policies touch the RNG), so the streams stay aligned.
 
 numpy is an optional dependency (``pip install repro[array]``); the
 module imports with numpy absent and every entry point raises a clear
@@ -42,14 +51,16 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Sequence, Tuple
 
 try:  # numpy is the optional `repro[array]` extra
     import numpy as np
 except ImportError:  # pragma: no cover - exercised by the minimal-install job
     np = None  # type: ignore[assignment]
 
+from ..faults.plan import CHANNEL_FAULT, FAIL
 from ..routing.table import RoutingTable
+from ..verification.graph import DiGraph
 from .config import SimulationConfig
 from .engine import WormholeSimulator
 from .metrics import SimulationResult
@@ -67,7 +78,8 @@ _DONE = 4
 #: hundreds of MB per (algorithm, topology) group.
 _LUT_ENTRY_CAP = 33_554_432
 
-#: ``ch_warm`` sentinel for channels whose member does not track load.
+#: ``ch_warm`` sentinel for channels whose member does not track load
+#: (also the generic "never due" sentinel for per-member cycle timers).
 _NEVER = 1 << 60
 
 #: ``ch_mb`` packs per-channel counters into one int64: flits moved in
@@ -75,6 +87,18 @@ _NEVER = 1 << 60
 _MB_LOW = (1 << 32) - 1
 _MB_HI1 = 1 << 32
 _MB_BOTH = _MB_HI1 | 1
+
+#: Output-selection policies the kernels replay exactly (the LUT columns
+#: are (dim, sign)-sorted and direction-deduped, which is precisely the
+#: ``sorted(options)`` every one of these policies reduces to; none of
+#: them draws from the RNG).  The legacy ``random``/``zigzag`` selectors
+#: stay on the scalar member path.
+_POLICY_CODES: Dict[str, int] = {
+    "xy": 0,
+    "round-robin": 1,
+    "max-credits": 2,
+    "threshold": 3,
+}
 
 _SLOT_FIELDS: Tuple[Tuple[str, int, str], ...] = (
     ("pk_sim", 0, "int64"),
@@ -87,6 +111,13 @@ _SLOT_FIELDS: Tuple[Tuple[str, int, str], ...] = (
     ("pk_head_node", 0, "int64"),
     ("pk_head_dir", 0, "int64"),
     ("pk_wait", 0, "int64"),
+    # Waiting-order sequence number: assigned at injection and at every
+    # header arrival, so ascending ``pk_wseq`` over a member's waiting
+    # headers is exactly the event engine's insertion-ordered ``waiting``
+    # dict — the invocation order of stateful selection policies and the
+    # kill order of the per-packet watchdog.
+    ("pk_wseq", 0, "int64"),
+    ("pk_attempt", 0, "int64"),
     ("pk_head_ch", -1, "int64"),
     ("pk_tail_ch", -1, "int64"),
     ("pk_launched", 0, "int64"),
@@ -122,23 +153,51 @@ def _require_numpy() -> None:
         )
 
 
+def demotion_reasons(config: SimulationConfig) -> Tuple[str, ...]:
+    """Why this operating point cannot run on the vectorized kernels.
+
+    Empty for points inside the vectorized envelope.  Each entry names
+    the config gate that failed (``"virtual-channels"``,
+    ``"output-selection"``, ``"input-selection"``); runtime-only gates
+    (trace sinks, profilers, the LUT entry cap) are appended by
+    :class:`BatchSimulator` and surface in its ``demotion_counts``.
+    Pure python — callable without numpy installed.
+    """
+    reasons: List[str] = []
+    if config.virtual_channels != 1:
+        reasons.append("virtual-channels")
+    if config.output_selection not in _POLICY_CODES:
+        reasons.append("output-selection")
+    if config.input_selection != "fcfs":
+        reasons.append("input-selection")
+    return tuple(reasons)
+
+
 def vectorized_envelope(config: SimulationConfig) -> bool:
     """Whether this operating point runs on the vectorized kernels.
 
-    Outside the envelope the array backend still accepts the point but
-    drives it through a cycle-locked event-engine member (bit-identical
-    by construction; see the module docstring and docs/SIMULATOR.md).
+    Since the envelope widening (fault plans, selection policies,
+    watchdogs/retries, and collectors are all vectorized now) only three
+    config gates remain: multiple virtual channels, a legacy
+    output-selection policy (``random``/``zigzag`` — they draw from the
+    RNG mid-arbitration), or a non-``fcfs`` input selection.  Outside
+    the envelope the array backend still accepts the point but drives it
+    through a cycle-locked event-engine member (bit-identical by
+    construction; see the module docstring and docs/SIMULATOR.md).
     """
-    return (
-        config.virtual_channels == 1
-        and config.output_selection == "xy"
-        and config.input_selection == "fcfs"
-        and config.fault_plan.is_empty
-        and config.packet_timeout == 0
-        and config.channel_series_period == 0
-        and not config.collect_router_blocked
-        and not config.collect_latency_histogram
-    )
+    return not demotion_reasons(config)
+
+
+def _run_ranks(sorted_keys):
+    """Rank of each element within its run of equal values (the input
+    must already be sorted); used to serialise per-member policy-pointer
+    updates inside one vectorized pass."""
+    first = np.empty(sorted_keys.size, dtype=bool)
+    first[0] = True
+    first[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    starts = np.nonzero(first)[0]
+    run_id = np.cumsum(first) - 1
+    return np.arange(sorted_keys.size) - starts[run_id]
 
 
 class _GroupTables:
@@ -152,7 +211,11 @@ class _GroupTables:
     build lazily, only for decisions that actually occur.  Shared by
     every batch member with the same algorithm class+name and topology
     class+shape — routing here is a pure function of those (the
-    turn-model algorithms are stateless by construction).
+    turn-model algorithms are stateless by construction).  Fault masking
+    never touches the tables: failures are a runtime ``ch_dead`` mask
+    over the candidate columns (the event engine's order-preserving
+    ``FaultAwareRouting`` filter commutes with the dedup+sort used
+    here, because only the candidate *set* is observable).
     """
 
     def __init__(self, algorithm, topology) -> None:
@@ -263,9 +326,10 @@ class _FastMember:
     """One vectorized-envelope operating point inside a batch.
 
     Owns the scalar per-member state (RNG, arrival calendar, source
-    queues, injection ports, result accounting) — a faithful port of the
-    event engine's generation/injection stages — while arbitration and
-    movement for its worms run inside the core's shared numpy kernels.
+    queues, injection ports, fault/retry schedules, result accounting)
+    — a faithful port of the event engine's generation/injection/fault
+    stages — while arbitration and movement for its worms run inside
+    the core's shared numpy kernels.
     """
 
     fast = True
@@ -306,6 +370,18 @@ class _FastMember:
                 self.next_arrival[node] = when
                 self._arrival_heap.append((when, index))
             heapq.heapify(self._arrival_heap)
+
+        # Fault state (the scalar twin of the core's ``ch_dead`` mask —
+        # the sets replay FaultState's exact add/discard sequence) and
+        # the retry calendar, both empty for fault-free members.
+        self.fault_schedule: Dict[int, list] = (
+            {} if config.fault_plan.is_empty else config.fault_plan.schedule()
+        )
+        self.dead_routers: set = set()
+        self.dead_channels: set = set()
+        self._retry_at: Dict[int, List[Packet]] = {}
+        self._lat_hist: Dict[int, int] = {}
+        self._series_buckets: List[List[int]] = []
 
         # Assigned by the core once all members are known.
         self.ch_off = 0
@@ -351,10 +427,13 @@ class _FastMember:
         sources = self.sources
         next_arrival = self.next_arrival
         push = heapq.heappush
+        dead_routers = self.dead_routers
         for when, index in due:
             node = sources[index]
             while when <= cycle:
                 when += expovariate(rate)
+                if node in dead_routers:
+                    continue  # a dead router offers no traffic
                 if len(queues[node]) >= max_queue:
                     continue
                 dst = pattern_dest(node, rng)
@@ -380,17 +459,33 @@ class _FastMember:
             self.core.m_pending[self.fidx] = True
 
     def _inject(self, cycle: int) -> None:
+        dead_routers = self.dead_routers
         for node in list(self.pending_nodes):
             queue = self.queues[node]
             if not queue or self.injection_busy[node] >= 0:
                 self.pending_nodes.discard(node)
                 continue
+            if node in dead_routers:
+                # A dead router cannot inject; its queue waits for a heal.
+                self.pending_nodes.discard(node)
+                continue
             packet = queue.popleft()
             self._backlog -= 1
+            if packet.dst in dead_routers:
+                # Drop at the source instead of wasting network resources
+                # on an unreachable destination (it may heal before a
+                # retry, so retries still apply).
+                self._finish_drop(
+                    packet.src, packet.dst, packet.length, packet.created,
+                    packet.attempt, cycle, "dead-destination",
+                )
+                if not queue:
+                    self.pending_nodes.discard(node)
+                continue
             slot = self.core._alloc_slot(self, packet, cycle)
             self.injection_busy[node] = slot
             self.pending_nodes.discard(node)
-        self.core.m_pending[self.fidx] = False
+        self.core.m_pending[self.fidx] = bool(self.pending_nodes)
 
     def _release_injection(self, slot: int) -> None:
         node = int(self.core.pk_src[slot])
@@ -398,6 +493,94 @@ class _FastMember:
         if self.queues[node]:
             self.pending_nodes.add(node)
             self.core.m_pending[self.fidx] = True
+
+    # -- retries / drops / kills (scalar engine ports) -----------------------
+
+    def _requeue(self, packet: Packet) -> None:
+        node = packet.src
+        self.queues[node].append(packet)
+        self._backlog += 1
+        if self.injection_busy[node] < 0:
+            self.pending_nodes.add(node)
+            self.core.m_pending[self.fidx] = True
+
+    def _pop_retries(self, cycle: int) -> None:
+        for packet in self._retry_at.pop(cycle, ()):
+            self._requeue(packet)
+        self.core.m_nextretry[self.fidx] = (
+            min(self._retry_at) if self._retry_at else _NEVER
+        )
+
+    def _kill(self, slot: int, cycle: int, cause: str, killed: bool = True) -> None:
+        """Remove an in-flight worm: release every held resource, then
+        account the drop (the array twin of the engine's ``_kill``)."""
+        core = self.core
+        fidx = self.fidx
+        stall = cycle - int(core.pk_wait[slot])
+        if stall > core.m_maxstall[fidx]:
+            core.m_maxstall[fidx] = stall
+        c = int(core.pk_tail_ch[slot])
+        while c >= 0:
+            nxt = int(core.ch_next[c])
+            core.ch_owner[c] = -1
+            core.ch_held[c] = False
+            core.ch_freed[c] = True
+            core._any_freed = True
+            core.ch_mb[c] = 0
+            core.ch_prev[c] = -1
+            core.ch_next[c] = -1
+            c = nxt
+        core.pk_tail_ch[slot] = -1
+        core.pk_head_ch[slot] = -1
+        src = int(core.pk_src[slot])
+        if self.injection_busy[src] == slot:
+            self._release_injection(slot)
+        dst = int(core.pk_dst[slot])
+        if core.ej_owner[self.node_off + dst] == slot:
+            core.ej_owner[self.node_off + dst] = -1
+        core.pk_state[slot] = _DONE
+        core.pk_arbwait[slot] = False
+        core.pk_dormant[slot] = False
+        core._live_dirty = True
+        self.inflight -= 1
+        core.m_inflight[fidx] -= 1
+        self._finish_drop(
+            src, dst, int(core.pk_len[slot]), int(core.pk_created[slot]),
+            int(core.pk_attempt[slot]), cycle, cause, killed=killed,
+        )
+
+    def _finish_drop(
+        self, src: int, dst: int, length: int, created: int, attempt: int,
+        cycle: int, cause: str, killed: bool = False,
+    ) -> None:
+        """Account one drop event; retry from the source if allowed."""
+        core = self.core
+        core.m_lastprog[self.fidx] = cycle  # freed resources are progress
+        config = self.config
+        result = self.result
+        measured = created >= config.warmup_cycles
+        if measured:
+            if killed:
+                result.killed_packets += 1
+            result.drops_by_cause[cause] = (
+                result.drops_by_cause.get(cause, 0) + 1
+            )
+        if attempt < config.max_retries:
+            delay = min(
+                config.retry_backoff_base << attempt,
+                config.retry_backoff_cap,
+            )
+            retry = Packet(self._next_pid, src, dst, length, created)
+            self._next_pid += 1
+            retry.attempt = attempt + 1
+            due = cycle + delay
+            self._retry_at.setdefault(due, []).append(retry)
+            if due < core.m_nextretry[self.fidx]:
+                core.m_nextretry[self.fidx] = due
+            if measured:
+                result.retried_packets += 1
+        elif measured:
+            result.dropped_packets += 1
 
     def _deliver(self, slot: int, cycle: int) -> None:
         core = self.core
@@ -422,6 +605,10 @@ class _FastMember:
             result.latency_by_length.setdefault(length, []).append(
                 cycle - created
             )
+            if self.config.collect_latency_histogram:
+                hist = self._lat_hist
+                latency = cycle - created
+                hist[latency] = hist.get(latency, 0) + 1
 
 
 class _ScalarMember:
@@ -475,19 +662,20 @@ class _BatchCore:
         )
         self.members: List = []
         self.fast: List[_FastMember] = []
+        self.demotions: Dict[str, int] = {}
         self._groups_by_key: Dict[tuple, _GroupTables] = {}
         self.groups: List[_GroupTables] = []
         group_of: List[int] = []
         for (algorithm, pattern, config), sink, profiler in zip(
             points, sinks, profilers
         ):
-            fastable = (
-                sink is None
-                and profiler is None
-                and vectorized_envelope(config)
-            )
+            reasons = list(demotion_reasons(config))
+            if sink is not None:
+                reasons.append("trace-sink")
+            if profiler is not None:
+                reasons.append("profiler")
             group_index = -1
-            if fastable:
+            if not reasons:
                 key = _group_key(algorithm, algorithm.topology)
                 group = self._groups_by_key.get(key)
                 if group is None:
@@ -497,37 +685,57 @@ class _BatchCore:
                 if group.ok:
                     group_index = self.groups.index(group)
                 else:
-                    fastable = False  # LUT would exceed the memory cap
-            if fastable:
+                    reasons.append("lut-cap")  # exceeds the memory cap
+            if reasons:
+                for reason in reasons:
+                    self.demotions[reason] = (
+                        self.demotions.get(reason, 0) + 1
+                    )
+                member = _ScalarMember(
+                    algorithm, pattern, config, sink=sink, profiler=profiler
+                )
+            else:
                 member = _FastMember(
                     self, len(self.fast), algorithm, pattern, config
                 )
                 self.fast.append(member)
                 group_of.append(group_index)
-            else:
-                member = _ScalarMember(
-                    algorithm, pattern, config, sink=sink, profiler=profiler
-                )
             self.members.append(member)
 
         # -- concatenated channel / node arenas over the fast members
         ch_off = 0
         node_off = 0
+        src_local: List[int] = []
         dst_local: List[int] = []
+        ch_noff: List[int] = []
         dir_idx: List[int] = []
         warm: List[int] = []
+        series0: List[int] = []
+        series1: List[int] = []
         any_loads = False
+        any_series = False
         for member, gi in zip(self.fast, group_of):
             member.ch_off = ch_off
             member.node_off = node_off
             group = self.groups[gi]
             for channel in group.channels:
+                src_local.append(channel.src)
                 dst_local.append(channel.dst)
                 dir_idx.append(group.dir_index[channel.direction])
+            ch_noff.extend([node_off] * len(group.channels))
             track = member.config.track_channel_load
             any_loads = any_loads or track
             threshold = member.config.warmup_cycles if track else _NEVER
             warm.extend([threshold] * len(group.channels))
+            period = member.config.channel_series_period
+            any_series = any_series or period > 0
+            series0.extend(
+                [member.config.warmup_cycles if period > 0 else _NEVER]
+                * len(group.channels)
+            )
+            series1.extend(
+                [member.config.generation_cycles] * len(group.channels)
+            )
             ch_off += len(group.channels)
             node_off += member.topology.num_nodes
         total_ch = ch_off
@@ -542,10 +750,22 @@ class _BatchCore:
         self.ch_mb = np.zeros(total_ch, dtype=np.int64)
         self.ch_prev = np.full(total_ch, -1, dtype=np.int64)
         self.ch_next = np.full(total_ch, -1, dtype=np.int64)
+        self.ch_src_local = np.asarray(src_local, dtype=np.int64)
         self.ch_dst_local = np.asarray(dst_local, dtype=np.int64)
         self.ch_dir = np.asarray(dir_idx, dtype=np.int64)
         self.ch_warm = np.asarray(warm, dtype=np.int64)
         self.loads = np.zeros(total_ch, dtype=np.int64) if any_loads else None
+        # Streaming channel-util series: one shared counter array with a
+        # per-channel measurement window; buckets roll per member on its
+        # own schedule (``m_nextroll``).
+        if any_series:
+            self.ch_series = np.zeros(total_ch, dtype=np.int64)
+            self.ch_s0 = np.asarray(series0, dtype=np.int64)
+            self.ch_s1 = np.asarray(series1, dtype=np.int64)
+        else:
+            self.ch_series = None
+            self.ch_s0 = None
+            self.ch_s1 = None
         self.ej_owner = np.full(total_nodes, -1, dtype=np.int64)
         # Arbitration wakeup flags: stage 3 marks released channels here
         # and the next cycle's arbitration wakes exactly the parked
@@ -601,8 +821,97 @@ class _BatchCore:
             dtype=np.float64,
         )
 
+        # -- selection-policy state (pointer counters live per member,
+        # exactly like the per-simulator policy instances they replay)
+        self.m_policy = np.asarray(
+            [_POLICY_CODES[m.config.output_selection] for m in self.fast],
+            dtype=np.int64,
+        )
+        self.m_threshold = np.asarray(
+            [m.config.selection_threshold for m in self.fast], dtype=np.int64
+        )
+        self.m_rrptr = np.zeros(nfast, dtype=np.int64)
+        self.m_mcptr = np.zeros(nfast, dtype=np.int64)
+        self._needs_policy = bool((self.m_policy != 0).any())
+        needs_cong = bool((self.m_policy >= 2).any())
+
+        # -- watchdog / retry / fault timers
+        self.m_timeout = np.asarray(
+            [m.config.packet_timeout for m in self.fast], dtype=np.int64
+        )
+        self.m_maxstall = np.zeros(nfast, dtype=np.int64)
+        self.m_nextretry = np.full(nfast, _NEVER, dtype=np.int64)
+        self.m_nextfault = np.asarray(
+            [
+                min(m.fault_schedule) if m.fault_schedule else _NEVER
+                for m in self.fast
+            ],
+            dtype=np.int64,
+        )
+        self._any_timeout = bool((self.m_timeout > 0).any())
+        self._any_faults = bool((self.m_nextfault != _NEVER).any())
+        self._any_drops = self._any_faults or self._any_timeout
+        self.ch_dead = (
+            np.zeros(total_ch, dtype=bool) if self._any_faults else None
+        )
+
+        # -- collector state
+        self.m_blocked = np.asarray(
+            [m.config.collect_router_blocked for m in self.fast], dtype=bool
+        )
+        self.node_blocked = (
+            np.zeros(total_nodes, dtype=np.int64)
+            if bool(self.m_blocked.any())
+            else None
+        )
+        rolls: List[int] = []
+        for m in self.fast:
+            period = m.config.channel_series_period
+            if period > 0:
+                first = m.config.warmup_cycles + period - 1
+                rolls.append(
+                    first if first < m.config.generation_cycles else _NEVER
+                )
+            else:
+                rolls.append(_NEVER)
+        self.m_nextroll = np.asarray(rolls, dtype=np.int64)
+        self._any_post = (
+            self._any_timeout
+            or self.node_blocked is not None
+            or self.ch_series is not None
+        )
+
+        # -- congestion view (policies >= max-credits): per-node credit
+        # and occupancy sums over the shared arena, recomputed at most
+        # once per cycle and frozen during arbitration exactly like
+        # EngineCongestionView (grants and moves happen after the scan).
+        if needs_cong:
+            noff = np.asarray(ch_noff, dtype=np.int64)
+            self.ch_src_g = self.ch_src_local + noff
+            self.ch_dst_g = self.ch_dst_local + noff
+            depth_nodes: List[int] = []
+            for m in self.fast:
+                depth_nodes.extend(
+                    [m.config.buffer_depth] * m.topology.num_nodes
+                )
+            self.node_depth = np.asarray(depth_nodes, dtype=np.int64)
+            self.node_liveout = np.bincount(
+                self.ch_src_g, minlength=total_nodes
+            ).astype(np.int64)
+            self.node_capacity = self.node_liveout * self.node_depth
+            self._occ = np.zeros(total_nodes, dtype=np.int64)
+            self._cred = np.zeros(total_nodes, dtype=np.int64)
+            self._cong_cycle = -1
+        else:
+            self.ch_src_g = None
+            self.ch_dst_g = None
+            self.node_depth = None
+            self.node_liveout = None
+            self.node_capacity = None
+
         # -- slot arena (append-only; grown geometrically)
         self.n_slots = 0
+        self._wseq = 0
         cap = 4096
         for name, fill, dtype in _SLOT_FIELDS:
             setattr(self, name, np.full(cap, fill, dtype=dtype))
@@ -647,6 +956,9 @@ class _BatchCore:
         self.pk_head_node[slot] = packet.src
         self.pk_head_dir[slot] = 0  # 0 encodes "no arrival direction yet"
         self.pk_wait[slot] = cycle
+        self.pk_wseq[slot] = self._wseq
+        self._wseq += 1
+        self.pk_attempt[slot] = packet.attempt
         self.pk_head_ch[slot] = -1
         self.pk_tail_ch[slot] = -1
         self.pk_launched[slot] = 0
@@ -689,6 +1001,113 @@ class _BatchCore:
         # for the finalize-time accounting).
         self.ch_held[member.ch_off : member.ch_off + member.num_ch] = False
 
+    # -- faults (scalar engine ports over the shared arena) ------------------
+
+    def _apply_faults(self, member: _FastMember, cycle: int) -> None:
+        """Fire the member's fault plan for this cycle: kill the worms
+        the failures touch (in the event engine's exact victim order),
+        refresh the runtime dead mask, and wake every parked header
+        (their watch sets may be stale against the new masks)."""
+        fidx = member.fidx
+        events = member.fault_schedule.pop(cycle, None)
+        schedule = member.fault_schedule
+        self.m_nextfault[fidx] = min(schedule) if schedule else _NEVER
+        if not events:
+            return
+        # Compact away slots delivered/killed in earlier cycles so the
+        # victim scans below see exactly the live worms.
+        self._refresh_live()
+        group = self.groups[int(self.f_group[fidx])]
+        for action, event in events:
+            if event.kind == CHANNEL_FAULT:
+                key = (event.node, event.direction)
+                if action == FAIL:
+                    member.dead_channels.add(key)
+                    cid = group.channel_ids.get(key)
+                    if cid is not None:
+                        holder = int(self.ch_owner[member.ch_off + cid])
+                        if holder >= 0:
+                            member._kill(holder, cycle, "link-failure")
+                else:
+                    member.dead_channels.discard(key)
+            else:
+                node = event.node
+                if action == FAIL:
+                    member.dead_routers.add(node)
+                    self._kill_router_worms(member, node, cycle)
+                    member.pending_nodes.discard(node)
+                else:
+                    member.dead_routers.discard(node)
+                    if (
+                        member.queues[node]
+                        and member.injection_busy[node] < 0
+                    ):
+                        member.pending_nodes.add(node)
+                        self.m_pending[fidx] = True
+        self._recompute_dead(member)
+        # The engine's ``_wake_all``: un-park every header of this
+        # member — candidate masks changed under it.
+        live = self.live
+        if live.size:
+            self.pk_arbwait[live[self.pk_sim[live] == fidx]] = False
+
+    def _kill_router_worms(self, member: _FastMember, node: int, cycle: int) -> None:
+        """Kill every worm whose header sits at, or whose body crosses,
+        the failed router (ascending slot order = the event engine's
+        insertion-ordered ``active`` scan)."""
+        live = self.live
+        mine = live[self.pk_sim[live] == member.fidx]
+        victims: List[int] = []
+        for slot in mine:
+            slot = int(slot)
+            if self.pk_state[slot] == _DONE:
+                continue  # killed by an earlier event in this batch
+            if int(self.pk_head_node[slot]) == node:
+                victims.append(slot)
+                continue
+            c = int(self.pk_tail_ch[slot])
+            while c >= 0:
+                if (
+                    int(self.ch_src_local[c]) == node
+                    or int(self.ch_dst_local[c]) == node
+                ):
+                    victims.append(slot)
+                    break
+                c = int(self.ch_next[c])
+        for slot in victims:
+            member._kill(slot, cycle, "router-failure")
+
+    def _recompute_dead(self, member: _FastMember) -> None:
+        """Rebuild the member's slice of the runtime dead-channel mask
+        (FaultState.channel_dead over the LUT channel universe) and,
+        when congestion policies are live, its per-node output degree."""
+        group = self.groups[int(self.f_group[member.fidx])]
+        lo = member.ch_off
+        hi = lo + member.num_ch
+        dead = np.zeros(member.num_ch, dtype=bool)
+        for key in member.dead_channels:
+            cid = group.channel_ids.get(key)
+            if cid is not None:
+                dead[cid] = True
+        if member.dead_routers:
+            routers = np.fromiter(
+                member.dead_routers, dtype=np.int64,
+                count=len(member.dead_routers),
+            )
+            dead |= np.isin(self.ch_src_local[lo:hi], routers)
+            dead |= np.isin(self.ch_dst_local[lo:hi], routers)
+        self.ch_dead[lo:hi] = dead
+        if self.node_liveout is not None:
+            nlo = member.node_off
+            n = member.topology.num_nodes
+            degree = np.bincount(
+                self.ch_src_local[lo:hi][~dead], minlength=n
+            )
+            self.node_liveout[nlo : nlo + n] = degree
+            self.node_capacity[nlo : nlo + n] = (
+                degree * member.config.buffer_depth
+            )
+
     # -- stage 2: arbitration (vectorized two-phase) -------------------------
 
     def _arbitrate_vec(self, cycle: int) -> None:
@@ -722,7 +1141,8 @@ class _BatchCore:
         if routing.size:
             if len(self.groups) == 1:
                 self._collect_requests(
-                    self.groups[0], routing, req_slots, req_ch, req_mis
+                    self.groups[0], routing, req_slots, req_ch, req_mis,
+                    cycle,
                 )
             else:
                 grp = self.f_group[self.pk_sim[routing]]
@@ -730,7 +1150,8 @@ class _BatchCore:
                     sel = grp == gi
                     if sel.any():
                         self._collect_requests(
-                            group, routing[sel], req_slots, req_ch, req_mis
+                            group, routing[sel], req_slots, req_ch, req_mis,
+                            cycle,
                         )
         if req_slots:
             slots = np.concatenate(req_slots)
@@ -772,7 +1193,8 @@ class _BatchCore:
                 self.m_lastprog[self.pk_sim[winners]] = cycle
 
     def _collect_requests(
-        self, group: _GroupTables, slots, req_slots, req_ch, req_mis
+        self, group: _GroupTables, slots, req_slots, req_ch, req_mis,
+        cycle: int,
     ) -> None:
         sims = self.pk_sim[slots]
         node = self.pk_head_node[slots]
@@ -787,14 +1209,35 @@ class _BatchCore:
         # -1 padding entries index a wrong-but-in-bounds channel; the
         # ``valid`` mask discards whatever they read.
         gchan = cand + offs
+        if self.ch_dead is not None:
+            # Runtime fault mask: a dead candidate is neither requestable
+            # nor worth parking on (its release cannot wake anyone) —
+            # the FaultAwareRouting filter, applied to the LUT columns.
+            valid = valid & ~self.ch_dead[gchan]
         free = valid & (self.ch_owner[gchan] < 0)
         has = free.any(axis=1)
         idx = np.nonzero(has)[0]
+        # Selection policies beyond xy need the full free mask per
+        # header, not just the first free column; route those requesters
+        # through the policy picker below.
+        policied = self._needs_policy and bool(
+            (self.m_policy[sims] != 0).any()
+        )
+        sel_slots: List = []
+        sel_free: List = []
+        sel_gchan: List = []
+        sel_mis: List = []
         if idx.size:
-            pick = free[idx].argmax(axis=1)
-            req_slots.append(slots[idx])
-            req_ch.append(gchan[idx, pick])
-            req_mis.append(group.cmis[rows[idx], pick])
+            if policied:
+                sel_slots.append(slots[idx])
+                sel_free.append(free[idx])
+                sel_gchan.append(gchan[idx])
+                sel_mis.append(group.cmis[rows[idx]])
+            else:
+                pick = free[idx].argmax(axis=1)
+                req_slots.append(slots[idx])
+                req_ch.append(gchan[idx, pick])
+                req_mis.append(group.cmis[rows[idx], pick])
         # Misroute escapes: only headers with zero free minimal
         # candidates and misroute budget left consult the escape table.
         bidx = np.nonzero(~has)[0]
@@ -818,6 +1261,8 @@ class _BatchCore:
                 cand = group.esc[erows]
                 valid = cand >= 0
                 gchan = cand + offs[bidx][eidx]
+                if self.ch_dead is not None:
+                    valid = valid & ~self.ch_dead[gchan]
                 wch[eidx[:, None], K + np.arange(K)[None, :]] = np.where(
                     valid, gchan, pad
                 )
@@ -825,10 +1270,16 @@ class _BatchCore:
                 has = free.any(axis=1)
                 fidx = np.nonzero(has)[0]
                 if fidx.size:
-                    pick = free[fidx].argmax(axis=1)
-                    req_slots.append(bslots[eidx[fidx]])
-                    req_ch.append(gchan[fidx, pick])
-                    req_mis.append(group.emis[erows[fidx], pick])
+                    if policied:
+                        sel_slots.append(bslots[eidx[fidx]])
+                        sel_free.append(free[fidx])
+                        sel_gchan.append(gchan[fidx])
+                        sel_mis.append(group.emis[erows[fidx]])
+                    else:
+                        pick = free[fidx].argmax(axis=1)
+                        req_slots.append(bslots[eidx[fidx]])
+                        req_ch.append(gchan[fidx, pick])
+                        req_mis.append(group.emis[erows[fidx], pick])
                     requested[eidx[fidx]] = True
             # Headers that produced no request at all park until one of
             # their wait channels is released (see ``_arbitrate_vec``).
@@ -839,6 +1290,128 @@ class _BatchCore:
                 if 2 * K < self._wwidth:
                     self.pk_wchan[pslots, 2 * K :] = pad
                 self.pk_arbwait[pslots] = True
+        if sel_slots:
+            aslots = np.concatenate(sel_slots)
+            afree = np.vstack(sel_free)
+            agchan = np.vstack(sel_gchan)
+            amis = np.vstack(sel_mis)
+            pick = self._select_cols(aslots, afree, agchan, cycle)
+            rows_ar = np.arange(aslots.size)
+            req_slots.append(aslots)
+            req_ch.append(agchan[rows_ar, pick])
+            req_mis.append(amis[rows_ar, pick])
+
+    # -- vectorized output-selection policies --------------------------------
+
+    def _congestion(self, cycle: int):
+        """Per-node (occupancy, credits, live out-degree) over the whole
+        arena — the vectorized EngineCongestionView.  Computed at most
+        once per cycle: arbitration reads a frozen snapshot (grants and
+        flit movement happen only after every request is collected,
+        exactly as in the event engine), and dead channels hold no flits
+        (their owners were killed when they failed)."""
+        if self._cong_cycle != cycle:
+            self._cong_cycle = cycle
+            occ = self._occ
+            occ[:] = 0
+            held = np.nonzero(self.ch_held)[0]
+            if held.size:
+                np.add.at(
+                    occ, self.ch_src_g[held], self.ch_mb[held] & _MB_LOW
+                )
+            np.subtract(self.node_capacity, occ, out=self._cred)
+        return self._occ, self._cred, self.node_liveout
+
+    def _select_cols(self, slots, free, gchan, cycle: int):
+        """Pick one free LUT column per requesting header, replaying
+        each member's selection policy exactly.
+
+        The LUT columns are (dim, sign)-sorted and direction-deduped, so
+        the free columns of a row are precisely the policy's
+        ``sorted(options)`` list.  Stateful pointers (round-robin,
+        max-credits tie-break) advance in each member's waiting order —
+        ``pk_wseq`` — which is the event engine's policy invocation
+        order; a lexsort + within-member rank serialises the whole batch
+        in one pass.
+        """
+        sims = self.pk_sim[slots]
+        pol = self.m_policy[sims]
+        # Default: first free column == min(options) — xy preference and
+        # the fallback every congestion policy reduces to on missing data.
+        pick = free.argmax(axis=1)
+        rr = np.nonzero(pol == 1)[0]
+        if rr.size:
+            order = np.lexsort((self.pk_wseq[slots[rr]], sims[rr]))
+            rrs = rr[order]
+            so = sims[rrs]
+            rank = _run_ranks(so)
+            frr = free[rrs]
+            k = (self.m_rrptr[so] + rank) % frr.sum(axis=1)
+            csum = frr.cumsum(axis=1)
+            # First column where the running free count hits k+1 is the
+            # (k+1)-th free direction in (dim, sign) order.
+            pick[rrs] = (csum == (k + 1)[:, None]).argmax(axis=1)
+            np.add.at(self.m_rrptr, so, 1)
+        if not bool((pol >= 2).any()):
+            return pick
+        occ, cred, liveout = self._congestion(cycle)
+        mc = np.nonzero(pol == 2)[0]
+        if mc.size:
+            frm = free[mc]
+            dstg = self.ch_dst_g[gchan[mc]]
+            data = liveout[dstg] > 0
+            # Any free option whose downstream has no live outputs →
+            # credits are None → static preference, pointer untouched.
+            bad = (frm & ~data).any(axis=1)
+            credm = np.where(frm, cred[dstg], -1)
+            best = credm.max(axis=1)
+            is_best = frm & (credm == best[:, None])
+            ties = is_best.sum(axis=1)
+            single = np.nonzero(~bad & (ties == 1))[0]
+            if single.size:
+                pick[mc[single]] = is_best[single].argmax(axis=1)
+            multi = np.nonzero(~bad & (ties > 1))[0]
+            if multi.size:
+                tied_rows = mc[multi]
+                order = np.lexsort(
+                    (self.pk_wseq[slots[tied_rows]], sims[tied_rows])
+                )
+                ro = tied_rows[order]
+                so = sims[ro]
+                rank = _run_ranks(so)
+                tb = is_best[multi[order]]
+                k = (self.m_mcptr[so] + rank) % tb.sum(axis=1)
+                csum = tb.cumsum(axis=1)
+                pick[ro] = (csum == (k + 1)[:, None]).argmax(axis=1)
+                np.add.at(self.m_mcptr, so, 1)
+        th = np.nonzero(pol == 3)[0]
+        if th.size:
+            frt = free[th]
+            nopts = frt.sum(axis=1)
+            gth = gchan[th]
+            rows_ar = np.arange(th.size)
+            pref_dst = self.ch_dst_g[gth[rows_ar, pick[th]]]
+            # Reroute only when there are alternatives, the preferred
+            # downstream has data, and its occupancy crossed the line.
+            hot = (
+                (nopts > 1)
+                & (liveout[pref_dst] > 0)
+                & (occ[pref_dst] >= self.m_threshold[sims[th]])
+            )
+            hidx = np.nonzero(hot)[0]
+            if hidx.size:
+                dstg = self.ch_dst_g[gth[hidx]]
+                frh = frt[hidx]
+                data = liveout[dstg] > 0
+                ok = ~(frh & ~data).any(axis=1)
+                oidx = hidx[ok]
+                if oidx.size:
+                    credm = np.where(
+                        frt[oidx], cred[self.ch_dst_g[gth[oidx]]], -1
+                    )
+                    # First occurrence of the max = the strict-> scan.
+                    pick[th[oidx]] = credm.argmax(axis=1)
+        return pick
 
     def _grant_channels(self, slots, chans, mis, cycle: int) -> None:
         sims = self.pk_sim[slots]
@@ -990,6 +1563,14 @@ class _BatchCore:
                     counted = cycle >= self.ch_warm[moving]
                     if counted.any():
                         self.loads[moving[counted]] += 1
+                if self.ch_series is not None:
+                    # Channel-util series counts flit shifts inside the
+                    # measurement window only (the collector's gate).
+                    windowed = (cycle >= self.ch_s0[moving]) & (
+                        cycle < self.ch_s1[moving]
+                    )
+                    if windowed.any():
+                        self.ch_series[moving[windowed]] += 1
                 scratch = self.pk_scratch
                 scratch[own_m] = True
                 act |= scratch[movers]
@@ -1009,6 +1590,12 @@ class _BatchCore:
                 self.pk_head_node[slots] = dstloc
                 self.pk_head_dir[slots] = self.ch_dir[head]
                 self.pk_wait[slots] = cycle
+                # Re-entering the waiting set: ascending slot order is
+                # the event engine's arrival order within this cycle.
+                self.pk_wseq[slots] = self._wseq + np.arange(
+                    slots.size, dtype=np.int64
+                )
+                self._wseq += int(slots.size)
                 pk_state[slots] = np.where(
                     dstloc == self.pk_dst[slots], _EJECT_WAIT, _ROUTING
                 )
@@ -1075,6 +1662,124 @@ class _BatchCore:
             # wakes the worm (its buffers are private) — park it.
             self.pk_dormant[slots] = True
 
+    # -- post-move stages: watchdog + collectors -----------------------------
+
+    def _post_cycle(self, cycle: int) -> None:
+        """The event engine's post-move stages, batched: the per-packet
+        stall watchdog, then the collectors' ``on_cycle_end`` (blocked
+        counting sees the post-watchdog waiting set, as in the engine).
+        """
+        if self._any_timeout or self.node_blocked is not None:
+            live = self.live
+            state = self.pk_state[live]
+            waits = live[(state == _ROUTING) | (state == _EJECT_WAIT)]
+            if waits.size and self._any_timeout:
+                sims = self.pk_sim[waits]
+                timed = self.m_timeout[sims] > 0
+                if timed.any():
+                    tw = waits[timed]
+                    ts = sims[timed]
+                    age = cycle - self.pk_wait[tw]
+                    np.maximum.at(self.m_maxstall, ts, age)
+                    over = age > self.m_timeout[ts]
+                    if over.any():
+                        victims = tw[over]
+                        vsims = ts[over]
+                        # Per member: one wait-for graph over the
+                        # pre-kill waiting set, then kills in waiting
+                        # (wseq) order — the engine's exact sequence.
+                        for f in np.unique(vsims):
+                            self._timeout_kill(
+                                self.fast[int(f)],
+                                waits[sims == f],
+                                victims[vsims == f],
+                                cycle,
+                            )
+                        self._refresh_live()
+                        live = self.live
+                        state = self.pk_state[live]
+                        waits = live[
+                            (state == _ROUTING) | (state == _EJECT_WAIT)
+                        ]
+            if waits.size and self.node_blocked is not None:
+                sims = self.pk_sim[waits]
+                counted = (
+                    self.m_blocked[sims]
+                    & (cycle >= self.f_warmup[sims])
+                    & (cycle < self.m_genend[sims])
+                )
+                if counted.any():
+                    np.add.at(
+                        self.node_blocked,
+                        self.f_node_off[sims[counted]]
+                        + self.pk_head_node[waits[counted]],
+                        1,
+                    )
+        if self.ch_series is not None:
+            due = np.nonzero(self.m_act & (self.m_nextroll == cycle))[0]
+            for f in due:
+                member = self.fast[int(f)]
+                lo = member.ch_off
+                hi = lo + member.num_ch
+                member._series_buckets.append(
+                    [int(x) for x in self.ch_series[lo:hi]]
+                )
+                self.ch_series[lo:hi] = 0
+                nxt = cycle + member.config.channel_series_period
+                self.m_nextroll[f] = (
+                    nxt if nxt < member.config.generation_cycles else _NEVER
+                )
+
+    def _timeout_kill(self, member: _FastMember, waits, victims, cycle: int) -> None:
+        """Kill one member's over-age headers, classifying each against
+        the wait-for graph (circular wait vs dead-end stall) exactly
+        like the engine's ``_check_packet_timeouts``."""
+        graph: DiGraph = DiGraph()
+        group = self.groups[int(self.f_group[member.fidx])]
+        ch_off = member.ch_off
+        node_off = member.node_off
+        span = group.num_dirs + 1
+        dead = self.ch_dead
+        for slot in waits:
+            slot = int(slot)
+            if self.pk_state[slot] == _EJECT_WAIT:
+                holder = int(
+                    self.ej_owner[node_off + int(self.pk_head_node[slot])]
+                )
+                if holder >= 0 and holder != slot:
+                    graph.add_edge(slot, holder)
+                continue
+            row = (
+                int(self.pk_head_node[slot]) * group.N
+                + int(self.pk_dst[slot])
+            ) * span + int(self.pk_head_dir[slot])
+            group.ensure_rows(np.asarray([row]), escape=False)
+            holders: List[int] = []
+            blocked = True
+            for cid in group.cand[row]:
+                cid = int(cid)
+                if cid < 0:
+                    break  # sentinel padding: row exhausted
+                gchan = ch_off + cid
+                if dead is not None and dead[gchan]:
+                    continue  # fault-masked candidate
+                holder = int(self.ch_owner[gchan])
+                if holder < 0:
+                    blocked = False
+                    break
+                holders.append(holder)
+            if blocked:
+                for holder in holders:
+                    if holder != slot:
+                        graph.add_edge(slot, holder)
+        circular = {s for comp in graph.cyclic_components() for s in comp}
+        for slot in victims[np.argsort(self.pk_wseq[victims])]:
+            slot = int(slot)
+            cause = (
+                "timeout-deadlock" if slot in circular else "timeout-stall"
+            )
+            member._kill(slot, cycle, cause, killed=False)
+
     # -- per-cycle member bookkeeping ---------------------------------------
 
     def _finalize_fast(self, member: _FastMember) -> SimulationResult:
@@ -1090,6 +1795,9 @@ class _BatchCore:
         grant_wait = int(self.m_maxgrant[member.fidx])
         if grant_wait > result.max_grant_wait_cycles:
             result.max_grant_wait_cycles = grant_wait
+        stall = int(self.m_maxstall[member.fidx])
+        if stall > result.max_stall_age_cycles:
+            result.max_stall_age_cycles = stall
         state = self.pk_state[: self.n_slots]
         stalled = np.nonzero(
             (self.pk_sim[: self.n_slots] == member.fidx)
@@ -1100,6 +1808,36 @@ class _BatchCore:
             age = end - int(self.pk_wait[slot])
             if age > result.max_stall_age_cycles:
                 result.max_stall_age_cycles = age
+        config = member.config
+        period = config.channel_series_period
+        if period > 0:
+            # The collector's partial final bucket: measured cycles seen
+            # beyond the last rollover (the engine counts them in
+            # ``_cycles_in_bucket``; here they are implied by the cycle
+            # the member stopped at).
+            measured_seen = max(
+                0,
+                min(member._last_cycle + 1, config.generation_cycles)
+                - config.warmup_cycles,
+            )
+            buckets = member._series_buckets
+            if measured_seen - len(buckets) * period > 0:
+                lo = member.ch_off
+                buckets.append(
+                    [int(x) for x in self.ch_series[lo : lo + member.num_ch]]
+                )
+            result.channel_util_series = buckets
+            result.channel_series_period = period
+        if config.collect_router_blocked:
+            lo = member.node_off
+            result.router_blocked_cycles = [
+                int(x)
+                for x in self.node_blocked[
+                    lo : lo + member.topology.num_nodes
+                ]
+            ]
+        if config.collect_latency_histogram:
+            result.latency_histogram = member._lat_hist
         return result
 
     # -- the batched run loop ------------------------------------------------
@@ -1133,6 +1871,16 @@ class _BatchCore:
                         m_act[f] = False
                         self._drop_member_slots(int(f))
             if m_act.any():
+                if self._any_faults:
+                    for f in np.nonzero(
+                        m_act & (self.m_nextfault <= cycle)
+                    )[0]:
+                        self._apply_faults(fast[int(f)], cycle)
+                if self._any_drops:
+                    for f in np.nonzero(
+                        m_act & (self.m_nextretry <= cycle)
+                    )[0]:
+                        fast[int(f)]._pop_retries(cycle)
                 # Generation/injection touch Python only for members
                 # whose arrival calendar or injector backlog is due.
                 for f in np.nonzero(m_act & (m_nextgen <= cycle))[0]:
@@ -1146,6 +1894,8 @@ class _BatchCore:
                 self._refresh_live()
                 self._arbitrate_vec(cycle)
                 self._move_vec(cycle)
+                if self._any_post:
+                    self._post_cycle(cycle)
                 for f in np.nonzero(m_act & (self.m_next_sample == cycle))[
                     0
                 ]:
@@ -1207,6 +1957,11 @@ class ArrayWormholeSimulator:
         driven through a cycle-locked event-engine member)."""
         return self._core.members[0].fast
 
+    @property
+    def demotion_counts(self) -> Dict[str, int]:
+        """Demotion reasons for this point (empty when vectorized)."""
+        return dict(self._core.demotions)
+
     def run(self) -> SimulationResult:
         return self._core.run()[0]
 
@@ -1235,6 +1990,19 @@ class BatchSimulator:
     def vectorized_count(self) -> int:
         """How many members run on the vectorized kernels."""
         return len(self._core.fast)
+
+    @property
+    def vectorized_fraction(self) -> float:
+        """Fraction of batch members on the vectorized kernels."""
+        return len(self._core.fast) / len(self._core.members)
+
+    @property
+    def demotion_counts(self) -> Dict[str, int]:
+        """How many members each envelope gate demoted to the scalar
+        path, keyed by reason (see :func:`demotion_reasons`; runtime
+        gates add ``"trace-sink"``, ``"profiler"``, ``"lut-cap"``).  A
+        member failing several gates counts once per gate."""
+        return dict(self._core.demotions)
 
     def run(self) -> List[SimulationResult]:
         return self._core.run()

@@ -463,3 +463,130 @@ class TestSaturationThroughRunner:
             pairs, FAST, high=16.0, iterations=3, runner=runner
         )
         assert many == singles
+
+
+class TestArrayBatchMembership:
+    """One helper decides which pending points join a batched array
+    pass — shared by the inline fast path and supervised sharding."""
+
+    def test_selects_only_real_array_specs_in_pending_order(self):
+        from repro.analysis.runner import array_batch_indices
+
+        class DuckSpec:
+            config = FAST.with_backend("array")
+
+            def execute(self):  # pragma: no cover - membership only
+                return None
+
+            def cache_key(self):  # pragma: no cover - membership only
+                return "duck"
+
+        specs = [
+            _spec(load=0.3),                                     # event
+            _spec(load=0.4, config=FAST.with_backend("array")),  # array
+            DuckSpec(),                       # array config but no build()
+            _spec(load=0.6, config=FAST.with_backend("array")),  # array
+        ]
+        assert array_batch_indices(specs, [0, 1, 2, 3]) == [1, 3]
+        # Only pending points are considered (cache hits are gone).
+        assert array_batch_indices(specs, [3, 0]) == [3]
+        assert array_batch_indices(specs, []) == []
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+class TestSupervisedArraySharding:
+    """Supervised campaigns shard all-array batches into per-worker
+    sub-batches, so crash-tolerant runs keep batched throughput."""
+
+    def test_supervised_array_batch_matches_event_runs(self, tmp_path):
+        loads = (0.3, 0.5, 0.7, 0.9, 1.1)
+        specs = [
+            _spec(load=load, config=FAST.with_backend("array"))
+            for load in loads
+        ]
+        runner = ParallelSweepRunner(
+            jobs=2,
+            cache=ResultCache(tmp_path / "cache"),
+            keep_going=True,  # engages supervision
+        )
+        report = runner.run_batch(specs)
+        assert not report.failures
+        assert runner.stats.executed == len(loads)
+        event = [
+            _spec(load=load).execute() for load in loads
+        ]
+        assert [r.to_dict() for r in report.results] == [
+            r.to_dict() for r in event
+        ]
+        # Every point landed in the cache individually.
+        again = ParallelSweepRunner(
+            jobs=2, cache=ResultCache(tmp_path / "cache"), keep_going=True
+        )
+        second = again.run_batch(specs)
+        assert again.stats.executed == 0
+        assert again.stats.cached == len(loads)
+        assert second.results == report.results
+
+    def test_supervised_mixed_batch_keeps_order_and_journal(
+        self, tmp_path
+    ):
+        specs = [
+            _spec(load=0.3),
+            _spec(load=0.4, config=FAST.with_backend("array")),
+            _spec(load=0.5),
+            _spec(load=0.6, config=FAST.with_backend("array")),
+        ]
+        runner = ParallelSweepRunner(
+            jobs=2,
+            cache=ResultCache(tmp_path / "cache"),
+            journal=tmp_path / "journal.jsonl",
+        )
+        results = runner.run_points(specs)
+        runner.close()
+        for spec, result in zip(specs, results):
+            assert result.to_dict() == spec.execute().to_dict()
+        lines = (tmp_path / "journal.jsonl").read_text().splitlines()
+        assert len([ln for ln in lines if '"point"' in ln]) >= len(specs)
+
+    def test_failed_shard_expands_to_per_point_failures(self, tmp_path):
+        good = [
+            _spec(load=load, config=FAST.with_backend("array"))
+            for load in (0.3, 0.5)
+        ]
+        bad = _spec(
+            load=0.4, alg="no-such-algorithm",
+            config=FAST.with_backend("array"),
+        )
+        specs = [good[0], bad, good[1]]
+        runner = ParallelSweepRunner(
+            jobs=len(specs),  # one point per shard
+            cache=None,
+            keep_going=True,
+        )
+        report = runner.run_batch(specs)
+        assert [f.index for f in report.failures] == [1]
+        assert report.failures[0].spec == bad
+        assert report.results[1] is None
+        for i in (0, 2):
+            assert (
+                report.results[i].to_dict()
+                == _spec(load=specs[i].config.offered_load).execute().to_dict()
+            )
+        assert runner.stats.failed == 1
+
+    def test_failfast_shard_failure_names_a_member_point(self):
+        from repro.analysis.supervision import PointExecutionError
+
+        bad = _spec(
+            load=0.4, alg="no-such-algorithm",
+            config=FAST.with_backend("array"),
+        )
+        specs = [
+            _spec(load=0.3, config=FAST.with_backend("array")),
+            bad,
+        ]
+        runner = ParallelSweepRunner(jobs=1, cache=None, max_point_retries=0,
+                                     point_timeout=60.0)
+        with pytest.raises(PointExecutionError) as excinfo:
+            runner.run_batch(specs)
+        assert excinfo.value.failure.spec in specs

@@ -7,8 +7,14 @@ depth, message lengths, seed) must satisfy:
   ``SimulationResult.to_dict()`` as a solo array-backend run;
 * a batched sweep returns per-point results — and therefore sweep
   aggregates — identical to running each point alone on the event
-  engine.
+  engine;
+* arbitrary fault plans combined with any congestion-aware selection
+  policy, watchdog/retry settings, and collectors — the widened
+  vectorized envelope — batched in arbitrary compositions still match
+  per-point event-engine runs exactly.
 """
+
+import dataclasses
 
 import pytest
 from hypothesis import given, settings
@@ -17,10 +23,12 @@ from hypothesis import strategies as st
 pytest.importorskip("numpy")
 
 from repro.analysis.runner import make_pattern, parse_topology_spec  # noqa: E402
+from repro.faults.plan import FaultEvent, FaultPlan  # noqa: E402
 from repro.routing.registry import make_algorithm  # noqa: E402
 from repro.simulation.array_engine import (  # noqa: E402
     ArrayWormholeSimulator,
     BatchSimulator,
+    demotion_reasons,
 )
 from repro.simulation.config import SimulationConfig  # noqa: E402
 from repro.simulation.engine import WormholeSimulator  # noqa: E402
@@ -106,4 +114,76 @@ class TestBatchedSweep:
         assert batch_delivered == solo_delivered
         assert [r.avg_latency_us for r in batched] == [
             r.avg_latency_us for r in solo
+        ]
+
+
+@st.composite
+def fault_plan(draw, m):
+    topology = parse_topology_spec(f"mesh:{m}x{m}")
+    start = draw(st.sampled_from([60, 120]))
+    end = start + 150 if draw(st.booleans()) else None
+    kwargs = {} if end is None else {"end": end}
+    plan = FaultPlan.random_links(
+        topology, draw(st.integers(1, 3)),
+        seed=draw(st.integers(0, 500)), start=start, **kwargs,
+    )
+    if draw(st.booleans()):
+        plan = FaultPlan(events=plan.events + (
+            FaultEvent.router(
+                draw(st.integers(0, m * m - 1)), start=start + 30
+            ),
+        ))
+    return plan
+
+
+@st.composite
+def faulted_point(draw):
+    m = draw(st.integers(4, 6))
+    algorithm = draw(
+        st.sampled_from(["west-first", "north-last", "negative-first"])
+    )
+    policy = draw(
+        st.sampled_from(["xy", "round-robin", "max-credits", "threshold"])
+    )
+    config = SimulationConfig(
+        offered_load=draw(st.sampled_from([0.8, 1.3])),
+        warmup_cycles=50,
+        measure_cycles=220,
+        drain_cycles=100,
+        seed=draw(st.integers(0, 10_000)),
+        fault_plan=draw(fault_plan(m)),
+        packet_timeout=draw(st.sampled_from([120, 250])),
+        max_retries=draw(st.integers(0, 2)),
+        output_selection=policy,
+        selection_threshold=draw(st.integers(1, 3)),
+        backend="array",
+    )
+    if draw(st.booleans()):
+        config = config.with_observability(channel_series_period=64)
+    return f"mesh:{m}x{m}", algorithm, "uniform", config
+
+
+class TestFaultedSelectionBatches:
+    """The tentpole property: arbitrary fault plan x selection policy x
+    watchdog/retry/collector settings, batched in arbitrary
+    compositions, equals per-point event-engine runs bit-for-bit —
+    and every such point runs on the vectorized kernels."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.lists(faulted_point(), min_size=2, max_size=3))
+    def test_faulted_batch_matches_per_point_event_runs(self, points):
+        for _, _, _, config in points:
+            assert demotion_reasons(config) == ()
+        batched = BatchSimulator([build(*p) for p in points]).run()
+        solo = [
+            WormholeSimulator(
+                *build(
+                    topo_spec, algorithm, pattern,
+                    dataclasses.replace(config, backend="event"),
+                )
+            ).run()
+            for topo_spec, algorithm, pattern, config in points
+        ]
+        assert [r.to_dict() for r in batched] == [
+            r.to_dict() for r in solo
         ]

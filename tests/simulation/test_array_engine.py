@@ -17,6 +17,7 @@ from repro.routing.registry import make_algorithm
 from repro.simulation.array_engine import (
     ArrayWormholeSimulator,
     BatchSimulator,
+    demotion_reasons,
     make_simulator,
     numpy_available,
     vectorized_envelope,
@@ -105,24 +106,41 @@ class TestVectorizedEnvelope:
         assert vectorized_envelope(SimulationConfig())
 
     @pytest.mark.parametrize(
+        "overrides,reason",
+        [
+            (dict(virtual_channels=2), "virtual-channels"),
+            (dict(output_selection="random"), "output-selection"),
+            (dict(output_selection="zigzag"), "output-selection"),
+            (dict(input_selection="random"), "input-selection"),
+        ],
+    )
+    def test_feature_leaves_envelope(self, overrides, reason):
+        config = SimulationConfig(**overrides)
+        assert not vectorized_envelope(config)
+        assert reason in demotion_reasons(config)
+
+    @pytest.mark.parametrize(
         "overrides",
         [
-            dict(virtual_channels=2),
-            dict(output_selection="random"),
-            dict(input_selection="random"),
             dict(packet_timeout=100),
+            dict(packet_timeout=100, max_retries=2),
             dict(channel_series_period=50),
             dict(collect_router_blocked=True),
             dict(collect_latency_histogram=True),
+            dict(output_selection="round-robin"),
+            dict(output_selection="max-credits"),
+            dict(output_selection="threshold", selection_threshold=3),
         ],
     )
-    def test_feature_leaves_envelope(self, overrides):
-        assert not vectorized_envelope(SimulationConfig(**overrides))
+    def test_widened_feature_stays_in_envelope(self, overrides):
+        config = SimulationConfig(**overrides)
+        assert vectorized_envelope(config)
+        assert demotion_reasons(config) == ()
 
-    def test_fault_plan_leaves_envelope(self):
+    def test_fault_plan_stays_in_envelope(self):
         topology = parse_topology_spec("mesh:5x5")
         plan = FaultPlan.random_links(topology, 2, seed=1, start=50)
-        assert not vectorized_envelope(SimulationConfig(fault_plan=plan))
+        assert vectorized_envelope(SimulationConfig(fault_plan=plan))
 
     @needs_numpy
     def test_sink_demotes_to_scalar_member_but_stays_identical(self):
@@ -224,6 +242,93 @@ class TestBatchSimulator:
             a, p, c = build_point(f"mesh:3x{k + 3}", measure_cycles=50)
             ArrayWormholeSimulator(a, p, c.with_backend("array"))
         assert len(ae._GROUP_CACHE) <= ae._GROUP_CACHE_MAX
+
+    def test_group_cache_reused_across_successive_batches(
+        self, monkeypatch
+    ):
+        # A second BatchSimulator over the same (algorithm, topology)
+        # group must reuse the very same _GroupTables object — that
+        # identity is what amortises LUT construction across a campaign.
+        monkeypatch.setattr(ae, "_GROUP_CACHE", {})
+        a1, p1, c1 = build_point(seed=3, measure_cycles=50)
+        BatchSimulator([(a1, p1, c1.with_backend("array"))]).run()
+        (first,) = ae._GROUP_CACHE.values()
+        built_rows = int(first.cbuilt.sum())
+        assert built_rows > 0  # the run populated LUT rows
+        a2, p2, c2 = build_point(seed=5, measure_cycles=50)
+        BatchSimulator([(a2, p2, c2.with_backend("array"))]).run()
+        (second,) = ae._GROUP_CACHE.values()
+        assert second is first  # identity, not an equal rebuild
+        assert int(first.cbuilt.sum()) >= built_rows
+
+    def test_group_cache_evicts_oldest_first(self, monkeypatch):
+        monkeypatch.setattr(ae, "_GROUP_CACHE", {})
+        keys = []
+        for k in range(ae._GROUP_CACHE_MAX + 1):
+            a, p, c = build_point(f"mesh:3x{k + 3}", measure_cycles=50)
+            ArrayWormholeSimulator(a, p, c.with_backend("array"))
+            keys.append(ae._group_key(a, p.topology))
+        assert len(ae._GROUP_CACHE) == ae._GROUP_CACHE_MAX
+        assert keys[0] not in ae._GROUP_CACHE  # FIFO: oldest evicted
+        assert all(k in ae._GROUP_CACHE for k in keys[1:])
+
+    def test_lut_entry_cap_exact_boundary(self, monkeypatch):
+        # The gate is ``rows * K <= _LUT_ENTRY_CAP``: a cap exactly at
+        # the group's entry count stays vectorized; one below demotes.
+        algorithm, pattern, config = build_point()
+        entries = ae._GroupTables(algorithm, pattern.topology).cand.size
+        for cap, expect_fast in [
+            (entries + 1, True), (entries, True), (entries - 1, False),
+        ]:
+            monkeypatch.setattr(ae, "_LUT_ENTRY_CAP", cap)
+            monkeypatch.setattr(ae, "_GROUP_CACHE", {})
+            sim = ArrayWormholeSimulator(
+                algorithm, pattern, config.with_backend("array")
+            )
+            assert sim.vectorized is expect_fast
+            if not expect_fast:
+                assert sim.demotion_counts == {"lut-cap": 1}
+
+
+@needs_numpy
+class TestDemotionObservability:
+    """Silent fast-path loss is the failure mode the coverage counters
+    exist to catch: every demoted member shows up in demotion_counts
+    and drags vectorized_fraction below 1.0."""
+
+    def test_all_vectorized_batch_reports_full_coverage(self):
+        a, p, c = build_point()
+        batch = BatchSimulator([(a, p, c.with_backend("array"))])
+        assert batch.vectorized_fraction == 1.0
+        assert batch.demotion_counts == {}
+
+    def test_mixed_batch_counts_each_gate(self):
+        points = [
+            build_point(seed=3),
+            build_point(seed=5, virtual_channels=2),
+            build_point(seed=7, virtual_channels=3),
+            build_point(seed=9, output_selection="random"),
+            build_point(
+                seed=11, virtual_channels=2, input_selection="random"
+            ),
+        ]
+        batch = BatchSimulator(
+            [(a, p, c.with_backend("array")) for a, p, c in points]
+        )
+        assert batch.vectorized_count == 1
+        assert batch.vectorized_fraction == pytest.approx(0.2)
+        assert batch.demotion_counts == {
+            "virtual-channels": 3,
+            "output-selection": 1,
+            "input-selection": 1,
+        }
+
+    def test_sink_demotion_counted_as_runtime_gate(self):
+        a, p, c = build_point()
+        sim = ArrayWormholeSimulator(
+            a, p, c.with_backend("array"), sink=ListSink()
+        )
+        assert sim.demotion_counts == {"trace-sink": 1}
 
 
 # The four golden operating points (tests/simulation/

@@ -12,12 +12,18 @@ arbitration order, or accounting shows up as a mismatch.
 
 Equivalence classification (docs/SIMULATOR.md has the full table):
 every feature is **bit-identical** across all three backends.  Inside
-the vectorized envelope (single VC, xy output / fcfs input selection,
-no faults, no watchdog, no per-router collectors, no trace sink) the
-array backend's numpy kernels reproduce the event engine's decision
-stream exactly; outside it the array backend drives a cycle-locked
-event-engine member, bit-identical by construction.  There is no
-statistically-equivalent-only feature class.
+the vectorized envelope (single VC, fcfs input selection, and any
+deterministic output policy — xy, round-robin, max-credits, threshold
+— including fault plans, watchdog timeouts with retries, and the
+streaming collectors) the array backend's numpy kernels reproduce the
+event engine's decision stream exactly; outside it (multiple VCs,
+random/zigzag selection, trace sinks, profilers, the LUT entry cap)
+the array backend drives a cycle-locked event-engine member,
+bit-identical by construction.  There is no
+statistically-equivalent-only feature class.  ``assert_equivalent``
+additionally asserts that in-envelope points really ran on the
+vectorized kernels, so the fault/policy/watchdog/collector legs here
+cannot silently regress onto the scalar fallback.
 """
 
 import dataclasses
@@ -28,7 +34,11 @@ from repro.analysis.runner import make_pattern, parse_topology_spec
 from repro.faults.plan import FaultPlan
 from repro.observability import ListSink
 from repro.routing.registry import make_algorithm
-from repro.simulation.array_engine import make_simulator, numpy_available
+from repro.simulation.array_engine import (
+    demotion_reasons,
+    make_simulator,
+    numpy_available,
+)
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import WormholeSimulator
 
@@ -69,7 +79,10 @@ def assert_equivalent(topology_spec, algorithm, pattern, config, trace=True):
         return
     # Third way: the array backend, sinkless first so the vectorized
     # kernels (not just the scalar fallback) carry in-envelope points.
-    arr_result = build_array(topology_spec, algorithm, pattern, config).run()
+    arr_sim = build_array(topology_spec, algorithm, pattern, config)
+    if not demotion_reasons(config):
+        assert arr_sim.vectorized
+    arr_result = arr_sim.run()
     assert arr_result.to_dict() == opt_result.to_dict()
     if trace:
         arr_sink = ListSink()
@@ -226,6 +239,30 @@ class TestSelectionPolicyEquivalence:
             seed=6, virtual_channels=2, output_selection="max-credits",
         )
         assert_equivalent("mesh:5x5", "escape-vc-adaptive", "uniform", config)
+
+
+class TestWatchdogEquivalence:
+    """Stall watchdogs + bounded-backoff retries without any faults:
+    pure congestion pushes packet ages past the timeout, and both
+    engines must kill, classify, and requeue the same victims on the
+    same cycles."""
+
+    def test_timeouts_fire_under_pure_congestion(self):
+        config = SimulationConfig(
+            offered_load=3.0, warmup_cycles=100, measure_cycles=500,
+            seed=3, packet_timeout=100, max_retries=1, drain_cycles=100,
+        )
+        ref = build("mesh:6x6", "west-first", "transpose", config, True)
+        result = ref.run()
+        assert result.retried_packets > 0  # the watchdog really fired
+        assert_equivalent("mesh:6x6", "west-first", "transpose", config)
+
+    def test_zero_retries_drops_permanently(self):
+        config = SimulationConfig(
+            offered_load=3.0, warmup_cycles=100, measure_cycles=400,
+            seed=7, packet_timeout=90, max_retries=0,
+        )
+        assert_equivalent("mesh:6x6", "north-last", "transpose", config)
 
 
 class TestObservabilityEquivalence:

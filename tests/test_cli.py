@@ -129,6 +129,42 @@ class TestCommands:
         assert code == 0
         assert "max sustainable throughput" in capsys.readouterr().out
 
+    def test_sweep_array_backend_prints_vectorized_coverage(self, capsys):
+        pytest.importorskip("numpy")
+        code = main(
+            [
+                "sweep", "west-first",
+                "--topology", "mesh:4x4",
+                "--loads", "0.3",
+                "--warmup", "100",
+                "--cycles", "400",
+                "--backend", "array",
+                "--no-cache",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[array backend: 1/1 point(s) vectorized (100%)]" in out
+
+    def test_sweep_array_backend_prints_demotion_reasons(self, capsys):
+        pytest.importorskip("numpy")
+        code = main(
+            [
+                "sweep", "west-first",
+                "--topology", "mesh:4x4",
+                "--loads", "0.3",
+                "--warmup", "100",
+                "--cycles", "400",
+                "--vc", "2",
+                "--backend", "array",
+                "--no-cache",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0/1 point(s) vectorized (0%)" in out
+        assert "demoted by virtual-channels x1" in out
+
     def test_backend_flag_rejects_unknown(self):
         with pytest.raises(SystemExit):
             main(
