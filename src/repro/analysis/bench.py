@@ -193,9 +193,10 @@ def bench_points(
     ``backend="array"`` returns the same operating points re-labelled
     ``<id>@array`` and pinned to the array engine, so the committed
     report keeps one trajectory per backend.  (Since the envelope
-    widening, the observability and fault points run on the vectorized
-    kernels too — only multi-VC and legacy selection policies still
-    exercise the cycle-locked scalar fallback.)
+    widening, the observability, fault, and multi-VC points run on the
+    vectorized kernels too — only the legacy random/zigzag selection
+    policies, trace sinks, and over-cap LUTs still exercise the
+    cycle-locked scalar fallback.)
     """
     points = [p for p in CANONICAL_POINTS if p.quick] if quick else list(
         CANONICAL_POINTS
@@ -251,6 +252,11 @@ class BatchBenchPoint:
 
     selection_threshold: int = 2
 
+    virtual_channels: int = 1
+    """VC count for every member (multi-VC exercises the runtime-
+    channel arena, the per-VC-class LUTs, and the physical-link
+    arbitration kernels)."""
+
     def config(self, seed: int, backend: str) -> SimulationConfig:
         kwargs: Dict[str, object] = dict(
             offered_load=self.offered_load,
@@ -262,6 +268,7 @@ class BatchBenchPoint:
             drain_cycles=self.drain_cycles,
             output_selection=self.selection,
             selection_threshold=self.selection_threshold,
+            virtual_channels=self.virtual_channels,
             backend=backend,
         )
         if self.fault_links:
@@ -310,6 +317,7 @@ class BatchBenchPoint:
             "drain_cycles": self.drain_cycles,
             "selection": self.selection,
             "selection_threshold": self.selection_threshold,
+            "virtual_channels": self.virtual_channels,
         }
 
 
@@ -354,6 +362,32 @@ BATCH_POINTS: Tuple[BatchBenchPoint, ...] = (
         batch_size=48, warmup_cycles=150, measure_cycles=600,
         fault_links=3, packet_timeout=400, max_retries=2,
         drain_cycles=200, quick=True, event_sample=12,
+    ),
+    # The multi-VC workloads (the paper's torus/hypercube figure
+    # shapes): a dateline seed-sweep on the 16x16 wraparound torus
+    # (``torus:16x2`` = radix 16, 2 dims) and an escape-VC adaptive
+    # mesh sweep.  Both ran 100% on the scalar fallback before the VC
+    # envelope widening.
+    BatchBenchPoint(
+        id="torus16-dateline-seedsweep", topology="torus:16x2",
+        algorithm="dateline-dimension-order", pattern="uniform",
+        offered_load=1.2, batch_size=192, warmup_cycles=300,
+        measure_cycles=1_200, virtual_channels=2, buffer_depth=4,
+        event_sample=16,
+    ),
+    BatchBenchPoint(
+        id="mesh16-escape-vc-sweep", topology="mesh:16x16",
+        algorithm="escape-vc-adaptive", pattern="uniform",
+        offered_load=1.2, batch_size=160, warmup_cycles=300,
+        measure_cycles=1_200, virtual_channels=2, buffer_depth=4,
+        event_sample=16,
+    ),
+    BatchBenchPoint(
+        id="torus8-dateline-seedsweep-quick", topology="torus:8x2",
+        algorithm="dateline-dimension-order", pattern="uniform",
+        offered_load=1.2, batch_size=96, warmup_cycles=150,
+        measure_cycles=600, virtual_channels=2, buffer_depth=4,
+        quick=True, event_sample=12,
     ),
 )
 

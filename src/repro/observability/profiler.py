@@ -13,7 +13,16 @@ near-zero bookkeeping so a profiled run stays representative:
 * ``advance`` — flit movement: every worm shifting one buffer forward;
 * ``faults``/``retries``/``watchdog`` — fault-plan application, retry
   requeueing, and per-packet timeout scans, when those subsystems are
-  active.
+  active;
+* ``collect`` — the streaming collectors' end-of-cycle pass (array
+  backend only; the event engine's collector hooks are inlined into the
+  stages above).
+
+The array backend (``backend="array"``) reports the same phases per
+batched kernel pass, with ``route`` folded into ``allocate`` (the LUT
+gathers happen inside the arbitration kernel).  Profiling only observes
+the clock around each pass, so profiled runs stay bit-identical on both
+backends.
 
 The profiler is engine-agnostic: ``add(phase, seconds)`` accumulates,
 ``report()`` renders.  It attaches only when the caller passes one to
@@ -34,6 +43,7 @@ ENGINE_PHASES = (
     "allocate",
     "advance",
     "watchdog",
+    "collect",
 )
 """Phase names the wormhole engine reports, in pipeline order."""
 

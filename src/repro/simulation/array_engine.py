@@ -14,8 +14,8 @@ B Python interpreter loops.
 ``tests/simulation/test_engine_equivalence.py`` and the golden
 fingerprints; see docs/SIMULATOR.md for the per-feature table): every
 feature is *bit-identical* to the event engine.  Operating points inside
-the *vectorized envelope* — single virtual channel, any selection policy
-from ``repro.routing.selection`` (``xy``, ``round-robin``,
+the *vectorized envelope* — any virtual-channel count, any selection
+policy from ``repro.routing.selection`` (``xy``, ``round-robin``,
 ``max-credits``, ``threshold``) with ``fcfs`` input selection — run
 arbitration and movement as numpy kernels whose update order provably
 replays the scalar engine's (head-first flit shifting via a rank walk
@@ -25,9 +25,20 @@ per-packet stall watchdogs with bounded-backoff retries, and the
 streaming collectors (channel-util series, router blocked cycles,
 latency histograms) are vectorized too: failures become per-cycle dead
 masks over the LUT candidate arrays, watchdog ages are array compares,
-and collector counters are scatter-adds over the shared arena.  Points
-outside the envelope (virtual channels, legacy policies that draw from
-the RNG, trace sinks, profilers) fall back to driving a cycle-locked
+and collector counters are scatter-adds over the shared arena.
+Multi-VC points (plain multi-VC mesh, torus dateline classes, escape-VC
+adaptive) widen the arena with a runtime-channel axis — one lane per
+(physical channel, vc) — flatten the per-VC-class candidate sets of
+``repro.routing.virtual`` into the same integer LUTs, reduce the
+(direction, vc) pair columns to the engine's per-direction first-free
+pair before selection, and serialise the one-flit-per-physical-link
+arbitration with the run-rank/lexsort technique so the engine's rotated
+per-member movement order is replayed exactly.  ``PhaseProfiler`` hooks
+no longer demote either: profiled runs time the kernel passes
+(faults/retries/generate/inject/allocate/advance/watchdog/collect)
+around unchanged state transitions, so they stay bit-identical.  Points
+outside the envelope (legacy policies that draw from the RNG, trace
+sinks, LUTs past the entry cap) fall back to driving a cycle-locked
 :class:`~repro.simulation.engine.WormholeSimulator` member — the same
 code, therefore trivially bit-identical — so the whole configuration
 space is supported and the batch API is uniform.
@@ -50,6 +61,7 @@ error instead.
 from __future__ import annotations
 
 import heapq
+import time
 from collections import deque
 from typing import Deque, Dict, List, Sequence, Tuple
 
@@ -126,7 +138,18 @@ _SLOT_FIELDS: Tuple[Tuple[str, int, str], ...] = (
     ("pk_hops", 0, "int64"),
     ("pk_mis", 0, "int64"),
     ("pk_depth", 0, "int64"),
+    # Virtual channel of the header's last hop (0 before injection and
+    # for every single-VC member) — the ``in_vc`` axis of the VC routing
+    # LUT rows.
+    ("pk_head_vc", 0, "int64"),
+    # Rotated service rank of the owning worm within its member's mover
+    # list this cycle (the event engine's ``cycle % len(movers)``
+    # rotation); valid only for multi-VC members, recomputed per cycle.
+    ("pk_order", 0, "int64"),
     ("pk_dormant", 0, "bool"),
+    # Scratch flag for the link-arbitration wave loop (per-worm
+    # "confirmed" marker; reset before each movement pass returns).
+    ("pk_flag", 0, "bool"),
     # Arbitration parking (the vectorized analog of the event engine's
     # channel-free wakeup sets): a ROUTING header with zero free
     # candidates skips arbitration until one of its recorded wait
@@ -156,16 +179,16 @@ def _require_numpy() -> None:
 def demotion_reasons(config: SimulationConfig) -> Tuple[str, ...]:
     """Why this operating point cannot run on the vectorized kernels.
 
-    Empty for points inside the vectorized envelope.  Each entry names
-    the config gate that failed (``"virtual-channels"``,
-    ``"output-selection"``, ``"input-selection"``); runtime-only gates
-    (trace sinks, profilers, the LUT entry cap) are appended by
-    :class:`BatchSimulator` and surface in its ``demotion_counts``.
-    Pure python — callable without numpy installed.
+    Empty for points inside the vectorized envelope.  *Every* applicable
+    config gate is reported (the scan does not stop at the first one):
+    ``"output-selection"`` for the legacy ``random``/``zigzag``
+    selectors, ``"input-selection"`` for non-``fcfs`` input selection.
+    Runtime-only gates (trace sinks, the LUT entry cap) are appended by
+    :class:`BatchSimulator` — also cumulatively — and surface in its
+    ``demotion_counts``.  Pure python — callable without numpy
+    installed.
     """
     reasons: List[str] = []
-    if config.virtual_channels != 1:
-        reasons.append("virtual-channels")
     if config.output_selection not in _POLICY_CODES:
         reasons.append("output-selection")
     if config.input_selection != "fcfs":
@@ -177,15 +200,27 @@ def vectorized_envelope(config: SimulationConfig) -> bool:
     """Whether this operating point runs on the vectorized kernels.
 
     Since the envelope widening (fault plans, selection policies,
-    watchdogs/retries, and collectors are all vectorized now) only three
-    config gates remain: multiple virtual channels, a legacy
-    output-selection policy (``random``/``zigzag`` — they draw from the
-    RNG mid-arbitration), or a non-``fcfs`` input selection.  Outside
-    the envelope the array backend still accepts the point but drives it
-    through a cycle-locked event-engine member (bit-identical by
-    construction; see the module docstring and docs/SIMULATOR.md).
+    watchdogs/retries, collectors, and multi-VC operation — dateline
+    classes and escape channels included — are all vectorized now) only
+    two config gates remain: a legacy output-selection policy
+    (``random``/``zigzag`` — they draw from the RNG mid-arbitration) or
+    a non-``fcfs`` input selection.  Outside the envelope the array
+    backend still accepts the point but drives it through a cycle-locked
+    event-engine member (bit-identical by construction; see the module
+    docstring and docs/SIMULATOR.md).
     """
     return not demotion_reasons(config)
+
+
+def _lut_entries(topology, num_vc: int) -> int:
+    """LUT entry count for an (algorithm, topology, num_vc) group —
+    computable without building the group (the ``"lut-cap"`` demotion
+    gate must be reportable even alongside other gates, when no group
+    is ever constructed)."""
+    dirs = {c.direction for c in topology.channels()}
+    n = topology.num_nodes
+    rows = n * n * (len(dirs) + 1) * num_vc
+    return rows * len(dirs) * num_vc
 
 
 def _run_ranks(sorted_keys):
@@ -201,7 +236,7 @@ def _run_ranks(sorted_keys):
 
 
 class _GroupTables:
-    """Per-(algorithm kind, topology shape) integer routing LUTs.
+    """Per-(algorithm kind, topology shape, VC class) integer routing LUTs.
 
     Flattens the memoised :class:`~repro.routing.table.RoutingTable`
     answers into ``[node x dest x (in_direction+1)] -> K`` local channel
@@ -209,18 +244,38 @@ class _GroupTables:
     selection), plus a parallel misroute flag per entry (the engine's
     ``distance(ch.dst, dest) >= distance(ch.src, dest)`` test).  Rows
     build lazily, only for decisions that actually occur.  Shared by
-    every batch member with the same algorithm class+name and topology
-    class+shape — routing here is a pure function of those (the
-    turn-model algorithms are stateless by construction).  Fault masking
-    never touches the tables: failures are a runtime ``ch_dead`` mask
-    over the candidate columns (the event engine's order-preserving
-    ``FaultAwareRouting`` filter commutes with the dedup+sort used
-    here, because only the candidate *set* is observable).
+    every batch member with the same algorithm class+name, topology
+    class+shape, and ``virtual_channels`` — routing here is a pure
+    function of those (the turn-model algorithms are stateless by
+    construction, and the VC algorithms key their candidate sets only on
+    the arrival VC class).  Fault masking never touches the tables:
+    failures are a runtime ``ch_dead`` mask over the candidate columns
+    (the event engine's order-preserving ``FaultAwareRouting`` filter
+    commutes with the dedup+sort used here, because only the candidate
+    *set* is observable).
+
+    **Multi-VC layout** (``num_vc > 1``): rows gain an arrival-VC axis —
+    ``row = ((node*N + dest)*(num_dirs+1) + diridx)*num_vc + in_vc`` with
+    ``in_vc = 0`` for pre-injection headers (the engine queries with
+    ``in_vc=None`` there, and ``pk_head_vc`` starts at 0) — and columns
+    hold up to ``K = num_dirs*num_vc`` *(direction, vc)* pairs in the
+    algorithm's ``vc_candidates`` order (NOT sorted: the VC preference
+    within a direction is order-significant — the engine grants the
+    first free candidate of the selected direction).  ``cand`` stores
+    member-local *runtime* channel ids (``physical*num_vc + vc``), and a
+    parallel ``cdirk`` column gives each pair's dense direction key
+    (``dir_index``, 1-based) so arbitration can collapse the pair
+    columns to the direction-level ``sorted(options)`` view every
+    selection policy consumes.  Invalid pairs (no such physical channel
+    at a mesh edge, or ``vc`` out of range) are skipped exactly like the
+    engine's ``_vc_pairs``.  Escape tables allocate lazily — many VC
+    groups never exhaust their minimal candidates.
     """
 
-    def __init__(self, algorithm, topology) -> None:
+    def __init__(self, algorithm, topology, num_vc: int = 1) -> None:
         self.table = RoutingTable(algorithm)
         self.topology = topology
+        self.num_vc = num_vc
         self._dist: Dict[Tuple[int, int], int] = {}
         physical = list(topology.channels())
         dirs = sorted({c.direction for c in physical})
@@ -228,31 +283,64 @@ class _GroupTables:
         self.index_dir: List = [None] + dirs
         self.num_dirs = len(dirs)
         self.N = topology.num_nodes
-        self.K = self.num_dirs
+        self.K = self.num_dirs * num_vc
         self.channels = physical
         self.channel_ids = {
             (c.src, c.direction): i for i, c in enumerate(physical)
         }
-        rows = self.N * self.N * (self.num_dirs + 1)
+        rows = self.N * self.N * (self.num_dirs + 1) * num_vc
+        self.rows = rows
         self.ok = rows * self.K <= _LUT_ENTRY_CAP
         if self.ok:
-            self.cand = np.full((rows, self.K), -1, dtype=np.int64)
-            self.cmis = np.zeros((rows, self.K), dtype=np.int64)
-            self.cbuilt = np.zeros(rows, dtype=bool)
-            self.esc = np.full((rows, self.K), -1, dtype=np.int64)
-            self.emis = np.zeros((rows, self.K), dtype=np.int64)
-            self.ebuilt = np.zeros(rows, dtype=bool)
+            if num_vc == 1:
+                self.cand = np.full((rows, self.K), -1, dtype=np.int64)
+                self.cmis = np.zeros((rows, self.K), dtype=np.int64)
+                self.cbuilt = np.zeros(rows, dtype=bool)
+                self.esc = np.full((rows, self.K), -1, dtype=np.int64)
+                self.emis = np.zeros((rows, self.K), dtype=np.int64)
+                self.ebuilt = np.zeros(rows, dtype=bool)
+                self.cdirk = self.edirk = None
+            else:
+                # Narrow dtypes: VC tables are num_vc^2 larger than the
+                # single-VC ones (5.2M rows x 8 cols for a 16x16 torus
+                # at num_vc=2), so int32 ids + int8 flags keep a cached
+                # group tens of MB instead of hundreds.
+                self.cand = np.full((rows, self.K), -1, dtype=np.int32)
+                self.cmis = np.zeros((rows, self.K), dtype=np.int8)
+                self.cdirk = np.zeros((rows, self.K), dtype=np.int8)
+                self.cbuilt = np.zeros(rows, dtype=bool)
+                self.esc = self.emis = self.edirk = None
+                self.ebuilt = np.zeros(rows, dtype=bool)
 
     def key_of(self, algorithm, topology) -> tuple:
-        return _group_key(algorithm, topology)
+        return _group_key(algorithm, topology, self.num_vc)
 
     def ensure_rows(self, rows, escape: bool) -> None:
         built = self.ebuilt if escape else self.cbuilt
         hit = built[rows]
         if hit.all():
             return
+        if escape and self.esc is None:
+            self.esc = np.full((self.rows, self.K), -1, dtype=np.int32)
+            self.emis = np.zeros((self.rows, self.K), dtype=np.int8)
+            self.edirk = np.zeros((self.rows, self.K), dtype=np.int8)
+        build = self._build_vc_row if self.num_vc > 1 else self._build_row
         for r in np.unique(rows[~hit]):
-            self._build_row(int(r), escape)
+            build(int(r), escape)
+
+    def _misroute(self, cid: int, dest: int) -> int:
+        channel = self.channels[cid]
+        memo = self._dist
+        distance = self.topology.distance
+        near = memo.get((channel.dst, dest))
+        if near is None:
+            near = distance(channel.dst, dest)
+            memo[(channel.dst, dest)] = near
+        far = memo.get((channel.src, dest))
+        if far is None:
+            far = distance(channel.src, dest)
+            memo[(channel.src, dest)] = far
+        return int(near >= far)
 
     def _build_row(self, row: int, escape: bool) -> None:
         span = self.num_dirs + 1
@@ -270,36 +358,62 @@ class _GroupTables:
         # First-appearance dedup (as the engine does) then xy order, so
         # "first free entry" is the xy output-selection winner.
         ordered = sorted(dict.fromkeys(dirs), key=lambda d: (d.dim, d.sign))
-        distance = self.topology.distance
-        memo = self._dist
         for j, d in enumerate(ordered):
             cid = self.channel_ids[(node, d)]
             out[row, j] = cid
-            channel = self.channels[cid]
-            near = memo.get((channel.dst, dest))
-            if near is None:
-                near = distance(channel.dst, dest)
-                memo[(channel.dst, dest)] = near
-            far = memo.get((channel.src, dest))
-            if far is None:
-                far = distance(channel.src, dest)
-                memo[(channel.src, dest)] = far
-            mis[row, j] = int(near >= far)
+            mis[row, j] = self._misroute(cid, dest)
+        built[row] = True
+
+    def _build_vc_row(self, row: int, escape: bool) -> None:
+        num_vc = self.num_vc
+        rest, vcslot = divmod(row, num_vc)
+        span = self.num_dirs + 1
+        diridx = rest % span
+        nd = rest // span
+        dest = nd % self.N
+        node = nd // self.N
+        in_direction = self.index_dir[diridx]
+        # Pre-injection headers have head_vc = None in the engine (the
+        # arena keeps pk_head_vc = 0 and only row vcslot 0 is reachable
+        # while pk_head_dir == 0), so replay the memo key exactly.
+        in_vc = vcslot if diridx else None
+        if escape:
+            pairs = self.table.vc_escape_candidates(
+                node, dest, in_direction, in_vc, num_vc
+            )
+            out, mis, dirk, built = self.esc, self.emis, self.edirk, self.ebuilt
+        else:
+            pairs = self.table.vc_candidates(
+                node, dest, in_direction, in_vc, num_vc
+            )
+            out, mis, dirk, built = self.cand, self.cmis, self.cdirk, self.cbuilt
+        j = 0
+        for d, vc in pairs:
+            base = self.channel_ids.get((node, d))
+            if base is None or not 0 <= vc < num_vc:
+                continue
+            out[row, j] = base * num_vc + vc
+            mis[row, j] = self._misroute(base, dest)
+            dirk[row, j] = self.dir_index[d]
+            j += 1
         built[row] = True
 
 
-def _group_key(algorithm, topology) -> tuple:
+def _group_key(algorithm, topology, num_vc: int = 1) -> tuple:
     # Routing here is a pure function of the algorithm's class + name
     # (+ its TurnModel, for the turn-restricted family — a frozen,
-    # hashable dataclass) and the topology's class + shape: that is the
-    # contract every algorithm in the registry satisfies, and it is what
-    # lets LUTs be shared across members and across batches.
+    # hashable dataclass), the topology's class + shape, and the VC
+    # class count (dateline/escape candidate sets change with num_vc, so
+    # leaving it out would alias their LUTs): that is the contract every
+    # algorithm in the registry satisfies, and it is what lets LUTs be
+    # shared across members and across batches.
     return (
         type(algorithm),
         getattr(algorithm, "name", None),
         getattr(algorithm, "model", None),
         type(topology),
         tuple(topology.dims),
+        num_vc,
     )
 
 
@@ -311,11 +425,11 @@ _GROUP_CACHE: Dict[tuple, "_GroupTables"] = {}
 _GROUP_CACHE_MAX = 8
 
 
-def _shared_group(algorithm, topology) -> "_GroupTables":
-    key = _group_key(algorithm, topology)
+def _shared_group(algorithm, topology, num_vc: int = 1) -> "_GroupTables":
+    key = _group_key(algorithm, topology, num_vc)
     group = _GROUP_CACHE.get(key)
     if group is None:
-        group = _GroupTables(algorithm, topology)
+        group = _GroupTables(algorithm, topology, num_vc)
         _GROUP_CACHE[key] = group
         while len(_GROUP_CACHE) > _GROUP_CACHE_MAX:
             del _GROUP_CACHE[next(iter(_GROUP_CACHE))]
@@ -336,7 +450,7 @@ class _FastMember:
 
     def __init__(
         self, core: "_BatchCore", fidx: int, algorithm, pattern,
-        config: SimulationConfig,
+        config: SimulationConfig, profiler=None,
     ) -> None:
         import random
 
@@ -345,9 +459,14 @@ class _FastMember:
         self.algorithm = algorithm
         self.pattern = pattern
         self.config = config
+        self.profiler = profiler
         self.topology = algorithm.topology
         self.rng = random.Random(config.seed)
-        self.num_ch = len(self.core_channels())
+        self.num_vc = config.virtual_channels
+        # The arena is runtime-channel granular: one lane per
+        # (physical channel, vc), matching the event engine's channel
+        # numbering ``physical_index * num_vc + vc``.
+        self.num_ch = len(self.core_channels()) * self.num_vc
         self.total = config.total_cycles
         self.frozen = False
         self.inflight = 0
@@ -672,20 +791,23 @@ class _BatchCore:
             reasons = list(demotion_reasons(config))
             if sink is not None:
                 reasons.append("trace-sink")
-            if profiler is not None:
-                reasons.append("profiler")
+            # Every applicable gate is reported, so the LUT-cap check
+            # runs even when a config gate already fired (cheap: a
+            # closed-form entry count, no group is built).
+            num_vc = config.virtual_channels
+            if _lut_entries(algorithm.topology, num_vc) > _LUT_ENTRY_CAP:
+                reasons.append("lut-cap")  # exceeds the memory cap
             group_index = -1
             if not reasons:
-                key = _group_key(algorithm, algorithm.topology)
+                key = _group_key(algorithm, algorithm.topology, num_vc)
                 group = self._groups_by_key.get(key)
                 if group is None:
-                    group = _shared_group(algorithm, algorithm.topology)
+                    group = _shared_group(
+                        algorithm, algorithm.topology, num_vc
+                    )
                     self._groups_by_key[key] = group
                     self.groups.append(group)
-                if group.ok:
-                    group_index = self.groups.index(group)
-                else:
-                    reasons.append("lut-cap")  # exceeds the memory cap
+                group_index = self.groups.index(group)
             if reasons:
                 for reason in reasons:
                     self.demotions[reason] = (
@@ -696,19 +818,35 @@ class _BatchCore:
                 )
             else:
                 member = _FastMember(
-                    self, len(self.fast), algorithm, pattern, config
+                    self, len(self.fast), algorithm, pattern, config,
+                    profiler=profiler,
                 )
                 self.fast.append(member)
                 group_of.append(group_index)
             self.members.append(member)
+        # Profiled fast members time the shared kernel passes (the batch
+        # advances them together, so each profiler records the same
+        # per-phase wall clock); timing never touches RNG or decisions,
+        # so profiled runs stay bit-identical.
+        self._fast_profilers = [
+            m.profiler for m in self.fast if m.profiler is not None
+        ]
 
-        # -- concatenated channel / node arenas over the fast members
+        # -- concatenated channel / node arenas over the fast members.
+        # One arena lane per *runtime* channel (physical x vc), matching
+        # the event engine's channel numbering; ``ch_link`` maps each
+        # lane back to a globally-unique physical link id (the one-flit-
+        # per-link-per-cycle resource multi-VC movement arbitrates).
         ch_off = 0
         node_off = 0
+        link_off = 0
         src_local: List[int] = []
         dst_local: List[int] = []
         ch_noff: List[int] = []
         dir_idx: List[int] = []
+        link_ids: List[int] = []
+        vc_ids: List[int] = []
+        multi: List[bool] = []
         warm: List[int] = []
         series0: List[int] = []
         series1: List[int] = []
@@ -718,25 +856,30 @@ class _BatchCore:
             member.ch_off = ch_off
             member.node_off = node_off
             group = self.groups[gi]
-            for channel in group.channels:
-                src_local.append(channel.src)
-                dst_local.append(channel.dst)
-                dir_idx.append(group.dir_index[channel.direction])
-            ch_noff.extend([node_off] * len(group.channels))
+            nvc = member.num_vc
+            for phys, channel in enumerate(group.channels):
+                for vc in range(nvc):
+                    src_local.append(channel.src)
+                    dst_local.append(channel.dst)
+                    dir_idx.append(group.dir_index[channel.direction])
+                    link_ids.append(link_off + phys)
+                    vc_ids.append(vc)
+            num_ch = len(group.channels) * nvc
+            multi.extend([nvc > 1] * num_ch)
+            ch_noff.extend([node_off] * num_ch)
             track = member.config.track_channel_load
             any_loads = any_loads or track
             threshold = member.config.warmup_cycles if track else _NEVER
-            warm.extend([threshold] * len(group.channels))
+            warm.extend([threshold] * num_ch)
             period = member.config.channel_series_period
             any_series = any_series or period > 0
             series0.extend(
                 [member.config.warmup_cycles if period > 0 else _NEVER]
-                * len(group.channels)
+                * num_ch
             )
-            series1.extend(
-                [member.config.generation_cycles] * len(group.channels)
-            )
-            ch_off += len(group.channels)
+            series1.extend([member.config.generation_cycles] * num_ch)
+            ch_off += num_ch
+            link_off += len(group.channels)
             node_off += member.topology.num_nodes
         total_ch = ch_off
         total_nodes = node_off
@@ -753,6 +896,24 @@ class _BatchCore:
         self.ch_src_local = np.asarray(src_local, dtype=np.int64)
         self.ch_dst_local = np.asarray(dst_local, dtype=np.int64)
         self.ch_dir = np.asarray(dir_idx, dtype=np.int64)
+        self.ch_link = np.asarray(link_ids, dtype=np.int64)
+        self.ch_vc = np.asarray(vc_ids, dtype=np.int64)
+        # Lanes whose member runs multiple VCs: only their movement is
+        # subject to physical-link arbitration (single-VC members map
+        # lanes and links one-to-one, so the event engine skips the
+        # ``links_used`` bookkeeping there — and so do we).
+        self.ch_multi = np.asarray(multi, dtype=bool)
+        self._any_vc = bool(self.ch_multi.any())
+        self._all_vc = bool(self.ch_multi.all())
+        self.total_links = link_off
+        # Wave-loop scratch (allocated once; reset per touched link).
+        self._link_min = np.full(link_off + 1, _NEVER, dtype=np.int64)
+        self._link_taken = np.full(link_off + 1, _NEVER, dtype=np.int64)
+        self._link_dup = np.zeros(link_off + 1, dtype=bool)
+        # Per-cycle inverse of the sorted held-channel array
+        # (``_ch_pos[held] = arange``): O(1) gathers where the chain
+        # solver and link arbitration would otherwise bisect.
+        self._ch_pos = np.zeros(total_ch, dtype=np.int64)
         self.ch_warm = np.asarray(warm, dtype=np.int64)
         self.loads = np.zeros(total_ch, dtype=np.int64) if any_loads else None
         # Streaming channel-util series: one shared counter array with a
@@ -792,6 +953,16 @@ class _BatchCore:
         )
         self.f_mislimit = np.asarray(
             [m.config.misroute_limit for m in self.fast], dtype=np.int64
+        )
+        self.f_numvc = np.asarray(
+            [m.num_vc for m in self.fast], dtype=np.int64
+        )
+        # A worm can revisit a physical link (on another VC) only by
+        # visiting a node twice, which needs a non-minimal hop: with
+        # misroutes disabled the intra-worm duplicate-link scan in the
+        # link arbiter is provably dead, so skip it per cycle.
+        self._any_vc_mis = bool(
+            ((self.f_numvc > 1) & (self.f_mislimit > 0)).any()
         )
         self.m_lastprog = np.zeros(nfast, dtype=np.int64)
         self.m_maxgrant = np.zeros(nfast, dtype=np.int64)
@@ -875,10 +1046,8 @@ class _BatchCore:
             else:
                 rolls.append(_NEVER)
         self.m_nextroll = np.asarray(rolls, dtype=np.int64)
-        self._any_post = (
-            self._any_timeout
-            or self.node_blocked is not None
-            or self.ch_series is not None
+        self._any_collect = (
+            self.node_blocked is not None or self.ch_series is not None
         )
 
         # -- congestion view (policies >= max-credits): per-node credit
@@ -1025,9 +1194,14 @@ class _BatchCore:
                     member.dead_channels.add(key)
                     cid = group.channel_ids.get(key)
                     if cid is not None:
-                        holder = int(self.ch_owner[member.ch_off + cid])
-                        if holder >= 0:
-                            member._kill(holder, cycle, "link-failure")
+                        # A failed physical channel takes every runtime
+                        # VC lane with it; holders die in ascending VC
+                        # order (the engine's _kill_channel_holders).
+                        base = member.ch_off + cid * member.num_vc
+                        for rt in range(base, base + member.num_vc):
+                            holder = int(self.ch_owner[rt])
+                            if holder >= 0:
+                                member._kill(holder, cycle, "link-failure")
                 else:
                     member.dead_channels.discard(key)
             else:
@@ -1085,10 +1259,11 @@ class _BatchCore:
         lo = member.ch_off
         hi = lo + member.num_ch
         dead = np.zeros(member.num_ch, dtype=bool)
+        nvc = member.num_vc
         for key in member.dead_channels:
             cid = group.channel_ids.get(key)
             if cid is not None:
-                dead[cid] = True
+                dead[cid * nvc : (cid + 1) * nvc] = True
         if member.dead_routers:
             routers = np.fromiter(
                 member.dead_routers, dtype=np.int64,
@@ -1199,9 +1374,15 @@ class _BatchCore:
         sims = self.pk_sim[slots]
         node = self.pk_head_node[slots]
         dest = self.pk_dst[slots]
-        rows = (node * group.N + dest) * (group.num_dirs + 1) + self.pk_head_dir[
-            slots
-        ]
+        num_vc = group.num_vc
+        rows = (
+            (node * group.N + dest) * (group.num_dirs + 1)
+            + self.pk_head_dir[slots]
+        )
+        if num_vc > 1:
+            # Multi-VC rows carry the arrival-VC class (pk_head_vc is 0
+            # pre-injection, exactly the engine's in_vc=None memo key).
+            rows = rows * num_vc + self.pk_head_vc[slots]
         group.ensure_rows(rows, escape=False)
         offs = self.f_ch_off[sims][:, None]
         cand = group.cand[rows]
@@ -1228,7 +1409,22 @@ class _BatchCore:
         sel_gchan: List = []
         sel_mis: List = []
         if idx.size:
-            if policied:
+            if num_vc > 1:
+                dfree, dgchan, dmis = self._reduce_vc(
+                    group, rows[idx], free[idx], gchan[idx], escape=False
+                )
+                if policied:
+                    sel_slots.append(slots[idx])
+                    sel_free.append(dfree)
+                    sel_gchan.append(dgchan)
+                    sel_mis.append(dmis)
+                else:
+                    pick = dfree.argmax(axis=1)
+                    ar = np.arange(idx.size)
+                    req_slots.append(slots[idx])
+                    req_ch.append(dgchan[ar, pick])
+                    req_mis.append(dmis[ar, pick])
+            elif policied:
                 sel_slots.append(slots[idx])
                 sel_free.append(free[idx])
                 sel_gchan.append(gchan[idx])
@@ -1270,7 +1466,23 @@ class _BatchCore:
                 has = free.any(axis=1)
                 fidx = np.nonzero(has)[0]
                 if fidx.size:
-                    if policied:
+                    if num_vc > 1:
+                        dfree, dgchan, dmis = self._reduce_vc(
+                            group, erows[fidx], free[fidx], gchan[fidx],
+                            escape=True,
+                        )
+                        if policied:
+                            sel_slots.append(bslots[eidx[fidx]])
+                            sel_free.append(dfree)
+                            sel_gchan.append(dgchan)
+                            sel_mis.append(dmis)
+                        else:
+                            pick = dfree.argmax(axis=1)
+                            ar = np.arange(fidx.size)
+                            req_slots.append(bslots[eidx[fidx]])
+                            req_ch.append(dgchan[ar, pick])
+                            req_mis.append(dmis[ar, pick])
+                    elif policied:
                         sel_slots.append(bslots[eidx[fidx]])
                         sel_free.append(free[fidx])
                         sel_gchan.append(gchan[fidx])
@@ -1300,6 +1512,39 @@ class _BatchCore:
             req_slots.append(aslots)
             req_ch.append(agchan[rows_ar, pick])
             req_mis.append(amis[rows_ar, pick])
+
+    def _reduce_vc(self, group: _GroupTables, rows, free, gchan, escape: bool):
+        """Collapse (direction, vc) pair columns to direction-level
+        columns in dense (dim, sign) order.
+
+        The engine's arbitration deduplicates the free pairs to a
+        direction list for the selection policy, then grants the *first*
+        free pair of the chosen direction (the algorithm's VC preference
+        order — which the VC LUT columns preserve).  Reduced column
+        ``d-1`` is therefore free iff direction ``d`` has a free pair,
+        and carries that first pair's runtime channel and misroute flag.
+        Every selection policy consumes ``sorted(options)``, which is
+        exactly the reduced (dim, sign) column order — so the reduced
+        matrices feed the single-VC policy kernels unchanged.
+        """
+        dirk = (group.edirk if escape else group.cdirk)[rows]
+        mism = (group.emis if escape else group.cmis)[rows]
+        nd = group.num_dirs
+        n = free.shape[0]
+        ar = np.arange(n)
+        dfree = np.zeros((n, nd), dtype=bool)
+        dgchan = np.zeros((n, nd), dtype=np.int64)
+        dmis = np.zeros((n, nd), dtype=np.int64)
+        for d in range(1, nd + 1):
+            m = free & (dirk == d)
+            col = m.argmax(axis=1)
+            dfree[:, d - 1] = m[ar, col]
+            # Rows without a free pair in this direction read column 0 —
+            # a real in-bounds channel of some other direction; the
+            # ``dfree`` gate discards it everywhere downstream.
+            dgchan[:, d - 1] = gchan[ar, col]
+            dmis[:, d - 1] = mism[ar, col]
+        return dfree, dgchan, dmis
 
     # -- vectorized output-selection policies --------------------------------
 
@@ -1458,6 +1703,23 @@ class _BatchCore:
         movers = live[~self.pk_dormant[live]]
         if movers.size == 0:
             return
+        if self._any_vc:
+            # Per-member rotated service rank: the event engine rotates
+            # its mover list by ``cycle % len(movers)`` when num_vc > 1,
+            # which decides who claims a contested physical link first
+            # and the order of same-cycle arrivals/deliveries/releases.
+            # ``movers`` is ascending-slot (= the engine's insertion
+            # order), so a stable member sort + run rank reproduces each
+            # member's pre-rotation position exactly.
+            sims_mv = self.pk_sim[movers]
+            oidx = np.argsort(sims_mv, kind="stable")
+            so = sims_mv[oidx]
+            rank = _run_ranks(so)
+            cnt = np.bincount(so, minlength=len(self.fast))[so]
+            rr = rank - cycle % cnt
+            neg = rr < 0
+            rr[neg] += cnt[neg]
+            self.pk_order[movers[oidx]] = rr
         act = np.zeros(movers.size, dtype=bool)
         state = pk_state[movers]
         heads = pk_head_ch[movers]
@@ -1484,6 +1746,7 @@ class _BatchCore:
         # b = can, solved for every chain at once by pointer doubling in
         # O(log max_chain) passes instead of O(max_chain) rank passes.
         launch_done: List = []
+        blocked_slots = None
         held = np.nonzero(self.ch_held)[0]
         if held.size:
             own = self.ch_owner[held]
@@ -1510,38 +1773,15 @@ class _BatchCore:
                 cap = (mb & _MB_LOW) < self.pk_depth[own]
             else:
                 cap = (mb & _MB_LOW) < depth
-            # Chain state packed per hold: 0 = cannot move (b false,
-            # absorbing under composition), 1 = undecided (supplied but
-            # at capacity — moves iff its downstream hold moves),
-            # 3 = moves outright.  Composing an undecided hold with the
-            # segment ahead of it just adopts that segment's state, so
-            # pointer doubling reduces to ``v[i] = v[i + 2**r]`` for the
-            # undecided set — decided holds are absorbing (0) or have a
-            # monotone move bit (3) and drop out, which shrinks the
-            # active set far faster than composing every linked hold.
-            v = b.astype(np.int8) * (1 + 2 * cap.astype(np.int8))
-            und = np.nonzero(v == 1)[0]
-            if und.size:
-                # Links are only ever chased *from* undecided holds, so
-                # build them for just those: the downstream channel of a
-                # held channel belongs to the same worm (hence is in the
-                # sorted held array) — find its local index by bisection.
-                # A decided partner's missing link (-1) is harmless: its
-                # ``jumped`` value is read into a lane the ``vp == 1``
-                # gate discards.
-                lnk = np.full(held.size, -1, dtype=np.int64)
-                nxtu = ch_next[held[und]]
-                has_n = nxtu >= 0
-                idx = und[has_n]
-                lnk[idx] = np.searchsorted(held, nxtu[has_n])
-                while idx.size:
-                    part = lnk[idx]
-                    vp = v[part]
-                    v[idx] = vp
-                    jumped = lnk[part]
-                    lnk[idx] = jumped
-                    idx = idx[(vp == 1) & (jumped >= 0)]
-            move = v == 3
+            # One inverse-permutation fill makes every held-index
+            # lookup downstream (chain solver, link arbiter, blocked
+            # scan) an O(1) gather instead of a bisection.
+            self._ch_pos[held] = np.arange(held.size, dtype=np.int64)
+            move = self._solve_chains(held, b, cap)
+            if self._any_vc:
+                move, blocked_slots = self._link_arbitrate(
+                    held, own, b, cap, move
+                )
             moving = held[move]
             if moving.size:
                 prev_m = prev[move]
@@ -1589,12 +1829,25 @@ class _BatchCore:
                 dstloc = self.ch_dst_local[head]
                 self.pk_head_node[slots] = dstloc
                 self.pk_head_dir[slots] = self.ch_dir[head]
+                self.pk_head_vc[slots] = self.ch_vc[head]
                 self.pk_wait[slots] = cycle
-                # Re-entering the waiting set: ascending slot order is
-                # the event engine's arrival order within this cycle.
-                self.pk_wseq[slots] = self._wseq + np.arange(
-                    slots.size, dtype=np.int64
-                )
+                # Re-entering the waiting set: within a member, arrival
+                # order this cycle is the engine's mover order —
+                # ascending slot, except multi-VC members walk their
+                # movers in rotated-rank order.
+                if self._any_vc:
+                    simsa = self.pk_sim[slots]
+                    key = np.where(
+                        self.f_numvc[simsa] > 1, self.pk_order[slots], slots
+                    )
+                    aord = np.lexsort((key, simsa))
+                    self.pk_wseq[slots[aord]] = self._wseq + np.arange(
+                        slots.size, dtype=np.int64
+                    )
+                else:
+                    self.pk_wseq[slots] = self._wseq + np.arange(
+                        slots.size, dtype=np.int64
+                    )
                 self._wseq += int(slots.size)
                 pk_state[slots] = np.where(
                     dstloc == self.pk_dst[slots], _EJECT_WAIT, _ROUTING
@@ -1637,18 +1890,33 @@ class _BatchCore:
             act[sel] = True
             tails[sel] = next_tail
             sel = sel[chained]
-        # E: delivery — ascending slot order is the engine's insertion-
-        # ordered ``active`` iteration, so accounting appends match.
+        # E: delivery — per member, the engine's mover order (ascending
+        # slot; rotated rank for multi-VC members), so accounting
+        # appends match.
         pos = np.nonzero(
             (pk_state[movers] == _EJECTING)
             & (self.pk_ejected[movers] == lengths)
         )[0]
         if pos.size:
             act[pos] = True
-            for slot in movers[pos]:
+            dslots = movers[pos]
+            if self._any_vc:
+                simsd = self.pk_sim[dslots]
+                key = np.where(
+                    self.f_numvc[simsd] > 1, self.pk_order[dslots], dslots
+                )
+                dslots = dslots[np.lexsort((key, simsd))]
+            for slot in dslots:
                 self.fast[int(self.pk_sim[slot])]._deliver(int(slot), cycle)
         if launch_done:
-            for slot in np.sort(np.concatenate(launch_done)):
+            ls = np.concatenate(launch_done)
+            if self._any_vc:
+                simsl = self.pk_sim[ls]
+                key = np.where(self.f_numvc[simsl] > 1, self.pk_order[ls], ls)
+                ls = ls[np.lexsort((key, simsl))]
+            else:
+                ls = np.sort(ls)
+            for slot in ls:
                 self.fast[int(self.pk_sim[slot])]._release_injection(int(slot))
         if act.any():
             # Duplicate member hits assign the same value — no reduction
@@ -1658,50 +1926,308 @@ class _BatchCore:
         if idle.size:
             slots = movers[idle]
             slots = slots[pk_state[slots] != _DONE]
+            if blocked_slots is not None and slots.size:
+                # A link-blocked worm is not dormant: its buffers did
+                # not change, but the contended link can free next cycle
+                # without any grant/release event (the engine's
+                # ``_link_blocked`` flag).
+                self.pk_flag[blocked_slots] = True
+                slots = slots[~self.pk_flag[slots]]
+                self.pk_flag[blocked_slots] = False
             # A zero-move scan stays zero until an arbitration grant
             # wakes the worm (its buffers are private) — park it.
             self.pk_dormant[slots] = True
 
+    def _solve_chains(self, held, b, cap):
+        """Solve the per-chain move recurrence
+        ``move_i = b_i & (cap_i | move_{i+1})`` for every held channel
+        at once (i+1 = the worm's next-downstream hold).
+
+        Chain state packed per hold: 0 = cannot move (b false, absorbing
+        under composition), 1 = undecided (supplied but at capacity —
+        moves iff its downstream hold moves), 3 = moves outright.
+        Composing an undecided hold with the segment ahead of it just
+        adopts that segment's state, so pointer doubling reduces to
+        ``v[i] = v[i + 2**r]`` for the undecided set — decided holds are
+        absorbing (0) or have a monotone move bit (3) and drop out,
+        which shrinks the active set far faster than composing every
+        linked hold.
+        """
+        ch_next = self.ch_next
+        v = b.astype(np.int8) * (1 + 2 * cap.astype(np.int8))
+        und = np.nonzero(v == 1)[0]
+        if und.size:
+            # Links are only ever chased *from* undecided holds, so
+            # build them for just those: the downstream channel of a
+            # held channel belongs to the same worm (hence is in the
+            # sorted held array) — ``_ch_pos`` (filled by the caller)
+            # inverts that array in O(1) per lookup.  A decided
+            # partner's missing link (-1) is harmless: its ``jumped``
+            # value is read into a lane the ``vp == 1`` gate discards.
+            lnk = np.full(held.size, -1, dtype=np.int64)
+            nxtu = ch_next[held[und]]
+            has_n = nxtu >= 0
+            idx = und[has_n]
+            lnk[idx] = self._ch_pos[nxtu[has_n]]
+            while idx.size:
+                part = lnk[idx]
+                vp = v[part]
+                v[idx] = vp
+                jumped = lnk[part]
+                lnk[idx] = jumped
+                idx = idx[(vp == 1) & (jumped >= 0)]
+        return v == 3
+
+    def _link_arbitrate(self, held, own, b, cap, move):
+        """Enforce one flit per physical link per cycle for multi-VC
+        members, replaying the event engine's ``links_used`` bookkeeping
+        exactly.
+
+        The engine walks worms in rotated order; a worm's hold skips its
+        move (and marks the worm link-blocked, exempting it from
+        dormancy) when an earlier-walked worm already moved a flit on
+        the same physical link this cycle.  Vectorized as a
+        wave-confirmation fixpoint over ``pk_order`` (the rotated rank):
+
+        * solve the chain recurrence with the current link gates;
+        * a worm is *confirmed* when, on every link it would move on,
+          no unconfirmed worm of smaller rotated rank also wants to
+          move — its move set is then final (gates only ever shrink
+          move sets, so a smaller-rank mover can never appear later);
+        * confirmed worms consume their links (``taken[link] = rank``),
+          unconfirmed holds on consumed links gate, and only the newly
+          gated worms re-solve (chains are private, so a gate cannot
+          change any other worm's moves).  Each wave confirms at least
+          the globally smallest-rank unconfirmed mover, so the loop
+          terminates.
+
+        Two confirmed worms can never consume the same link — within a
+        member rotated ranks are distinct and the larger rank would
+        have stayed unconfirmed — so consuming is a plain scatter, not
+        a minimum-reduction.
+
+        Worms holding the same physical link twice (possible only via
+        non-minimal escape revisits) are finalized by an exact scalar
+        walk instead, because their private ``links_used`` set is
+        order-dependent within the worm.
+        """
+        if self._all_vc:
+            mvi = np.nonzero(move)[0]
+        else:
+            multi = self.ch_multi[held]
+            if not multi.any():
+                return move, None
+            mvi = np.nonzero(move & multi)[0]
+        lmin = self._link_min
+        # Fast path: in the ungated solve, no physical link carries two
+        # would-be movers — every worm is immediately confirmable, no
+        # hold gates, nobody is link-blocked.  Duplicate detection by
+        # scatter-then-compare (last write wins, so every earlier
+        # duplicate reads back a different stamp) — ``_link_min`` needs
+        # no reset, its consumers always overwrite before reading.
+        mlk = self.ch_link[held[mvi]]
+        if mlk.size > 1:
+            stamp = np.arange(mlk.size, dtype=np.int64)
+            lmin[mlk] = stamp
+            dup = lmin[mlk] != stamp
+            contested = bool(dup.any())
+        else:
+            contested = False
+        if not contested:
+            return move, None
+        taken = self._link_taken
+        pk_flag = self.pk_flag
+        scratch = self.pk_scratch
+        # Only the worms moving on a contested link (and their chains)
+        # enter the wave fixpoint: an uncontested mover is confirmed by
+        # definition — no other mover wants its links — and the links
+        # it consumes could only ever gate non-moving holds, which
+        # never changes a move (moves only shrink).  ``dup`` marks
+        # every earlier duplicate, so one scatter through a per-link
+        # flag recovers *all* movers on contested links.
+        dflag = self._link_dup
+        dflag[mlk[dup]] = True
+        hot = own[mvi[dflag[mlk]]]
+        dflag[mlk] = False
+        pk_flag[hot] = False
+        scratch[hot] = True
+        if self._all_vc:
+            rem = np.nonzero(scratch[own])[0]
+        else:
+            rem = np.nonzero(scratch[own] & multi)[0]
+        scratch[hot] = False
+        # ``rem`` holds every hold (held-index) of a hot worm; gather
+        # its links/owners/ranks once, so the waves below never touch a
+        # full-sized array again.
+        lk_r = self.ch_link[held[rem]]
+        sl_r = own[rem]
+        or_r = self.pk_order[sl_r]
+        # Intra-worm duplicate physical links (non-minimal revisits of
+        # the same edge on different VCs): scalar-walk those worms.
+        # Impossible without misroutes — a duplicate link needs a node
+        # revisit — so the scan is skipped when no multi-VC member
+        # allows them.
+        if self._any_vc_mis:
+            o2 = np.lexsort((lk_r, sl_r))
+            sw = sl_r[o2]
+            sl = lk_r[o2]
+            d = (sw[1:] == sw[:-1]) & (sl[1:] == sl[:-1])
+            dupm = np.unique(sw[1:][d]) if d.any() else None
+        else:
+            dupm = None
+        gate = np.zeros(held.size, dtype=bool)
+        # ``alive`` tracks the rem-positions whose worms are still
+        # unconfirmed — each wave's reductions run over that shrinking
+        # set only.
+        alive = np.arange(rem.size, dtype=np.int64)
+        for _ in range(alive.size + 1):
+            um = alive[move[rem[alive]]]
+            if um.size == 0:
+                break
+            ulk = lk_r[um]
+            uor = or_r[um]
+            lmin[ulk] = _NEVER
+            np.minimum.at(lmin, ulk, uor)
+            us = sl_r[um]
+            bad = us[lmin[ulk] < uor]
+            scratch[bad] = True
+            conf = ~scratch[us]
+            scratch[bad] = False
+            if not conf.any():  # pragma: no cover - unreachable guard
+                break
+            em = um[conf]
+            ew = us[conf]
+            walked = None
+            if dupm is not None:
+                isdup = np.isin(ew, dupm)
+                if isdup.any():
+                    walked = np.unique(ew[isdup])
+                    em = em[~isdup]
+                    ew = ew[~isdup]
+            pk_flag[ew] = True
+            taken[lk_r[em]] = or_r[em]
+            if walked is not None:
+                for w in walked:
+                    for i, val in self._walk_worm(int(w), b, cap):
+                        move[i] = val
+                pk_flag[walked] = True
+            alive = alive[~pk_flag[sl_r[alive]]]
+            if alive.size == 0:
+                break
+            ng = alive[
+                ~gate[rem[alive]] & (taken[lk_r[alive]] < or_r[alive])
+            ]
+            if ng.size:
+                gate[rem[ng]] = True
+                self._regate_worms(
+                    np.unique(sl_r[ng]), b, cap, gate, move
+                )
+        pk_flag[hot] = False
+        taken[lk_r] = _NEVER
+        # Link-blocked worms: an attempted move (supply + capacity-or-
+        # downstream-move against the *final* move set) denied only by
+        # the link — exactly when the engine sets ``_link_blocked``.
+        nxt = self.ch_next[held]
+        hasn = nxt >= 0
+        mnext = np.zeros(held.size, dtype=bool)
+        mnext[hasn] = move[self._ch_pos[nxt[hasn]]]
+        blk = b & (cap | mnext) & ~move
+        blocked = own[blk] if blk.any() else None
+        return move, blocked
+
+    def _regate_worms(self, ws, b, cap, gate, move) -> None:
+        """Re-solve the newly link-gated worms' chains in place by the
+        head-to-tail recurrence ``move_i = b_i & ~gate_i &
+        (cap_i | move_{i+1})``, walking every chain in lockstep (one
+        vector step per hold depth).  Chains are private to their worm,
+        so a gate never changes any other worm's moves — this replaces
+        the full re-solve the fixpoint loop used to run each wave."""
+        pos = self._ch_pos
+        ch_prev = self.ch_prev
+        c = self.pk_head_ch[ws]
+        mv = np.zeros(c.size, dtype=bool)
+        while True:
+            alive = c >= 0
+            if not alive.all():
+                if not alive.any():
+                    break
+                c = c[alive]
+                mv = mv[alive]
+            i = pos[c]
+            mv = b[i] & ~gate[i] & (cap[i] | mv)
+            move[i] = mv
+            c = ch_prev[c]
+
+    def _walk_worm(self, w: int, b, cap):
+        """Finalize one confirmed worm by the engine's exact head-to-
+        tail hold walk (needed only when the worm holds the same
+        physical link on two VCs, so its private ``links_used`` set is
+        order-dependent).  Returns (held-index, move) overrides."""
+        order_w = int(self.pk_order[w])
+        taken = self._link_taken
+        ch_link = self.ch_link
+        ch_prev = self.ch_prev
+        pos = self._ch_pos
+        used: set = set()
+        out: List[Tuple[int, bool]] = []
+        c = int(self.pk_head_ch[w])
+        mv_next = False
+        while c >= 0:
+            i = int(pos[c])
+            mv = False
+            if b[i] and (cap[i] or mv_next):
+                link = int(ch_link[c])
+                if taken[link] >= order_w and link not in used:
+                    mv = True
+                    used.add(link)
+            out.append((i, mv))
+            mv_next = mv
+            c = int(ch_prev[c])
+        for link in used:
+            if order_w < taken[link]:
+                taken[link] = order_w
+        return out
+
     # -- post-move stages: watchdog + collectors -----------------------------
 
-    def _post_cycle(self, cycle: int) -> None:
-        """The event engine's post-move stages, batched: the per-packet
-        stall watchdog, then the collectors' ``on_cycle_end`` (blocked
-        counting sees the post-watchdog waiting set, as in the engine).
-        """
-        if self._any_timeout or self.node_blocked is not None:
+    def _watchdog_pass(self, cycle: int) -> None:
+        """The event engine's post-move stall watchdog, batched."""
+        live = self.live
+        state = self.pk_state[live]
+        waits = live[(state == _ROUTING) | (state == _EJECT_WAIT)]
+        if waits.size == 0:
+            return
+        sims = self.pk_sim[waits]
+        timed = self.m_timeout[sims] > 0
+        if timed.any():
+            tw = waits[timed]
+            ts = sims[timed]
+            age = cycle - self.pk_wait[tw]
+            np.maximum.at(self.m_maxstall, ts, age)
+            over = age > self.m_timeout[ts]
+            if over.any():
+                victims = tw[over]
+                vsims = ts[over]
+                # Per member: one wait-for graph over the pre-kill
+                # waiting set, then kills in waiting (wseq) order —
+                # the engine's exact sequence.
+                for f in np.unique(vsims):
+                    self._timeout_kill(
+                        self.fast[int(f)],
+                        waits[sims == f],
+                        victims[vsims == f],
+                        cycle,
+                    )
+                self._refresh_live()
+
+    def _collect_pass(self, cycle: int) -> None:
+        """The collectors' ``on_cycle_end``, batched: blocked counting
+        sees the post-watchdog waiting set, as in the engine."""
+        if self.node_blocked is not None:
             live = self.live
             state = self.pk_state[live]
             waits = live[(state == _ROUTING) | (state == _EJECT_WAIT)]
-            if waits.size and self._any_timeout:
-                sims = self.pk_sim[waits]
-                timed = self.m_timeout[sims] > 0
-                if timed.any():
-                    tw = waits[timed]
-                    ts = sims[timed]
-                    age = cycle - self.pk_wait[tw]
-                    np.maximum.at(self.m_maxstall, ts, age)
-                    over = age > self.m_timeout[ts]
-                    if over.any():
-                        victims = tw[over]
-                        vsims = ts[over]
-                        # Per member: one wait-for graph over the
-                        # pre-kill waiting set, then kills in waiting
-                        # (wseq) order — the engine's exact sequence.
-                        for f in np.unique(vsims):
-                            self._timeout_kill(
-                                self.fast[int(f)],
-                                waits[sims == f],
-                                victims[vsims == f],
-                                cycle,
-                            )
-                        self._refresh_live()
-                        live = self.live
-                        state = self.pk_state[live]
-                        waits = live[
-                            (state == _ROUTING) | (state == _EJECT_WAIT)
-                        ]
-            if waits.size and self.node_blocked is not None:
+            if waits.size:
                 sims = self.pk_sim[waits]
                 counted = (
                     self.m_blocked[sims]
@@ -1753,6 +2279,11 @@ class _BatchCore:
                 int(self.pk_head_node[slot]) * group.N
                 + int(self.pk_dst[slot])
             ) * span + int(self.pk_head_dir[slot])
+            if group.num_vc > 1:
+                # The wait-for graph watches the minimal (direction, vc)
+                # pairs for the header's arrival VC class, in candidate
+                # order — the same rows arbitration reads.
+                row = row * group.num_vc + int(self.pk_head_vc[slot])
             group.ensure_rows(np.asarray([row]), escape=False)
             holders: List[int] = []
             blocked = True
@@ -1842,14 +2373,97 @@ class _BatchCore:
 
     # -- the batched run loop ------------------------------------------------
 
+    def _fast_cycle(self, cycle: int) -> None:
+        """One cycle of the vectorized kernels for every active member:
+        the same stage order as ``WormholeSimulator.run_cycle``."""
+        fast = self.fast
+        m_act = self.m_act
+        if self._any_faults:
+            for f in np.nonzero(m_act & (self.m_nextfault <= cycle))[0]:
+                self._apply_faults(fast[int(f)], cycle)
+        if self._any_drops:
+            for f in np.nonzero(m_act & (self.m_nextretry <= cycle))[0]:
+                fast[int(f)]._pop_retries(cycle)
+        # Generation/injection touch Python only for members whose
+        # arrival calendar or injector backlog is due.
+        for f in np.nonzero(m_act & (self.m_nextgen <= cycle))[0]:
+            member = fast[int(f)]
+            if cycle >= member.config.generation_cycles:
+                self.m_nextgen[f] = np.inf
+            else:
+                member._generate(cycle)
+        for f in np.nonzero(m_act & self.m_pending)[0]:
+            fast[int(f)]._inject(cycle)
+        self._refresh_live()
+        self._arbitrate_vec(cycle)
+        self._move_vec(cycle)
+        if self._any_timeout:
+            self._watchdog_pass(cycle)
+        if self._any_collect:
+            self._collect_pass(cycle)
+
+    def _mark(self, phase: str, start: float) -> float:
+        """Charge ``now - start`` to ``phase`` on every profiled fast
+        member and return ``now`` (the next phase's start)."""
+        now = time.perf_counter()
+        dt = now - start
+        for prof in self._fast_profilers:
+            prof.add(phase, dt)
+        return now
+
+    def _fast_cycle_profiled(self, cycle: int) -> None:
+        """``_fast_cycle`` with per-phase wall-clock accounting.
+
+        Identical stage order and state transitions — the profiler only
+        observes ``time.perf_counter`` around each kernel pass, so
+        profiled runs stay bit-identical.  Routing happens inside the
+        arbitration kernel (LUT gathers), so the ``route`` phase is
+        folded into ``allocate`` on this backend.
+        """
+        fast = self.fast
+        m_act = self.m_act
+        t = time.perf_counter()
+        if self._any_faults:
+            for f in np.nonzero(m_act & (self.m_nextfault <= cycle))[0]:
+                self._apply_faults(fast[int(f)], cycle)
+        t = self._mark("faults", t)
+        if self._any_drops:
+            for f in np.nonzero(m_act & (self.m_nextretry <= cycle))[0]:
+                fast[int(f)]._pop_retries(cycle)
+        t = self._mark("retries", t)
+        for f in np.nonzero(m_act & (self.m_nextgen <= cycle))[0]:
+            member = fast[int(f)]
+            if cycle >= member.config.generation_cycles:
+                self.m_nextgen[f] = np.inf
+            else:
+                member._generate(cycle)
+        t = self._mark("generate", t)
+        for f in np.nonzero(m_act & self.m_pending)[0]:
+            fast[int(f)]._inject(cycle)
+        t = self._mark("inject", t)
+        self._refresh_live()
+        self._arbitrate_vec(cycle)
+        t = self._mark("allocate", t)
+        self._move_vec(cycle)
+        t = self._mark("advance", t)
+        if self._any_timeout:
+            self._watchdog_pass(cycle)
+        t = self._mark("watchdog", t)
+        if self._any_collect:
+            self._collect_pass(cycle)
+        self._mark("collect", t)
+
     def run(self) -> List[SimulationResult]:
         members = self.members
         fast = self.fast
         scalars = [m for m in members if not m.fast]
         max_total = max(m.total for m in members)
         m_act = self.m_act
-        m_nextgen = self.m_nextgen
-        m_pending = self.m_pending
+        fast_cycle = (
+            self._fast_cycle_profiled
+            if self._fast_profilers
+            else self._fast_cycle
+        )
         for cycle in range(max_total):
             running = 0
             for member in scalars:
@@ -1871,31 +2485,7 @@ class _BatchCore:
                         m_act[f] = False
                         self._drop_member_slots(int(f))
             if m_act.any():
-                if self._any_faults:
-                    for f in np.nonzero(
-                        m_act & (self.m_nextfault <= cycle)
-                    )[0]:
-                        self._apply_faults(fast[int(f)], cycle)
-                if self._any_drops:
-                    for f in np.nonzero(
-                        m_act & (self.m_nextretry <= cycle)
-                    )[0]:
-                        fast[int(f)]._pop_retries(cycle)
-                # Generation/injection touch Python only for members
-                # whose arrival calendar or injector backlog is due.
-                for f in np.nonzero(m_act & (m_nextgen <= cycle))[0]:
-                    member = fast[int(f)]
-                    if cycle >= member.config.generation_cycles:
-                        m_nextgen[f] = np.inf
-                    else:
-                        member._generate(cycle)
-                for f in np.nonzero(m_act & m_pending)[0]:
-                    fast[int(f)]._inject(cycle)
-                self._refresh_live()
-                self._arbitrate_vec(cycle)
-                self._move_vec(cycle)
-                if self._any_post:
-                    self._post_cycle(cycle)
+                fast_cycle(cycle)
                 for f in np.nonzero(m_act & (self.m_next_sample == cycle))[
                     0
                 ]:
@@ -2000,8 +2590,8 @@ class BatchSimulator:
     def demotion_counts(self) -> Dict[str, int]:
         """How many members each envelope gate demoted to the scalar
         path, keyed by reason (see :func:`demotion_reasons`; runtime
-        gates add ``"trace-sink"``, ``"profiler"``, ``"lut-cap"``).  A
-        member failing several gates counts once per gate."""
+        gates add ``"trace-sink"`` and ``"lut-cap"``).  A member failing
+        several gates counts once per gate."""
         return dict(self._core.demotions)
 
     def run(self) -> List[SimulationResult]:

@@ -163,6 +163,77 @@ def faulted_point(draw):
     return f"mesh:{m}x{m}", algorithm, "uniform", config
 
 
+@st.composite
+def vc_point(draw):
+    """Arbitrary topology family x VC count x algorithm, as the
+    torus/hypercube figure harnesses submit them."""
+    family = draw(st.sampled_from(["mesh", "torus", "hypercube"]))
+    num_vc = draw(st.integers(1, 4))
+    if family == "mesh":
+        m = draw(st.integers(3, 5))
+        n = draw(st.integers(3, 5))
+        topo_spec = f"mesh:{m}x{n}"
+        algorithm = draw(
+            st.sampled_from(
+                ["west-first", "negative-first", "escape-vc-adaptive"]
+            )
+        )
+        if algorithm == "escape-vc-adaptive" and num_vc < 2:
+            num_vc = 2  # the escape class needs at least one adaptive VC
+    elif family == "torus":
+        radix = draw(st.sampled_from([4, 6]))
+        topo_spec = f"torus:{radix}x2"
+        algorithm = draw(
+            st.sampled_from(
+                ["negative-first-torus", "dateline-dimension-order"]
+            )
+        )
+    else:
+        topo_spec = f"cube:{draw(st.integers(3, 4))}"
+        algorithm = draw(st.sampled_from(["e-cube", "p-cube"]))
+    config = SimulationConfig(
+        offered_load=draw(st.sampled_from([0.5, 0.9, 1.4])),
+        warmup_cycles=50,
+        measure_cycles=180,
+        seed=draw(st.integers(0, 10_000)),
+        virtual_channels=num_vc,
+        buffer_depth=draw(st.sampled_from([1, 2])),
+        backend="array",
+    )
+    return topo_spec, algorithm, "uniform", config
+
+
+class TestVirtualChannelBatches:
+    """The multi-VC tentpole property: arbitrary (topology family x
+    virtual_channels in 1..4 x algorithm) batch compositions equal
+    per-point event-engine runs bit-for-bit, and every in-envelope
+    point runs on the vectorized kernels."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.lists(vc_point(), min_size=1, max_size=3))
+    def test_vc_batch_matches_per_point_event_runs(self, points):
+        specs = [build(*p) for p in points]
+        batch = BatchSimulator(specs)
+        for _, _, _, config in points:
+            assert demotion_reasons(config) == ()
+        # These shapes stay under the LUT cap, so in-envelope means
+        # vectorized — a silent scalar fallback fails here.
+        assert batch.vectorized_count == len(points)
+        batched = batch.run()
+        solo = [
+            WormholeSimulator(
+                *build(
+                    topo_spec, algorithm, pattern,
+                    dataclasses.replace(config, backend="event"),
+                )
+            ).run()
+            for topo_spec, algorithm, pattern, config in points
+        ]
+        assert [r.to_dict() for r in batched] == [
+            r.to_dict() for r in solo
+        ]
+
+
 class TestFaultedSelectionBatches:
     """The tentpole property: arbitrary fault plan x selection policy x
     watchdog/retry/collector settings, batched in arbitrary

@@ -108,7 +108,6 @@ class TestVectorizedEnvelope:
     @pytest.mark.parametrize(
         "overrides,reason",
         [
-            (dict(virtual_channels=2), "virtual-channels"),
             (dict(output_selection="random"), "output-selection"),
             (dict(output_selection="zigzag"), "output-selection"),
             (dict(input_selection="random"), "input-selection"),
@@ -118,6 +117,16 @@ class TestVectorizedEnvelope:
         config = SimulationConfig(**overrides)
         assert not vectorized_envelope(config)
         assert reason in demotion_reasons(config)
+
+    def test_demotion_reasons_reports_every_applicable_gate(self):
+        # A point can fail several gates at once; the predicate must
+        # name all of them, not stop at the first.
+        config = SimulationConfig(
+            output_selection="random", input_selection="random"
+        )
+        assert demotion_reasons(config) == (
+            "output-selection", "input-selection"
+        )
 
     @pytest.mark.parametrize(
         "overrides",
@@ -130,6 +139,8 @@ class TestVectorizedEnvelope:
             dict(output_selection="round-robin"),
             dict(output_selection="max-credits"),
             dict(output_selection="threshold", selection_threshold=3),
+            dict(virtual_channels=2),
+            dict(virtual_channels=4),
         ],
     )
     def test_widened_feature_stays_in_envelope(self, overrides):
@@ -158,8 +169,9 @@ class TestVectorizedEnvelope:
 @needs_numpy
 class TestBatchSimulator:
     def test_heterogeneous_batch_matches_solo_runs_in_order(self):
-        # Mixed topologies, algorithms, loads, and envelope membership
-        # (the VC=2 point runs on the scalar fallback) in one batch.
+        # Mixed topologies, algorithms, loads, and VC counts — the
+        # torus VC=2 point runs on the vectorized kernels too — in one
+        # batch.
         points = [
             build_point("mesh:5x5", "west-first", seed=3),
             build_point("mesh:4x6", "north-last", seed=5, offered_load=0.8),
@@ -174,7 +186,7 @@ class TestBatchSimulator:
             [(a, p, c.with_backend("array")) for a, p, c in points]
         )
         assert batch.batch_size == 5
-        assert batch.vectorized_count == 4
+        assert batch.vectorized_count == 5
         results = batch.run()
         assert len(results) == 5
         for point, result in zip(points, results):
@@ -261,6 +273,30 @@ class TestBatchSimulator:
         assert second is first  # identity, not an equal rebuild
         assert int(first.cbuilt.sum()) >= built_rows
 
+    def test_group_cache_keys_vc_classes_separately(self, monkeypatch):
+        # The cache key includes the VC-class dimension: dateline LUTs
+        # for vc=2 must never alias the vc=1 (or vc=3) tables of the
+        # same algorithm+topology, while equal-num_vc batches still
+        # reuse the identical _GroupTables object.
+        monkeypatch.setattr(ae, "_GROUP_CACHE", {})
+        a, p, c = build_point(
+            "torus:4x2", "dateline-dimension-order", offered_load=0.6,
+            measure_cycles=50,
+        )
+        for num_vc in (1, 2, 3):
+            cfg = dataclasses.replace(c, virtual_channels=num_vc)
+            BatchSimulator([(a, p, cfg.with_backend("array"))]).run()
+        assert len(ae._GROUP_CACHE) == 3
+        keys = {
+            ae._group_key(a, p.topology, num_vc) for num_vc in (1, 2, 3)
+        }
+        assert keys == set(ae._GROUP_CACHE)
+        two = ae._GROUP_CACHE[ae._group_key(a, p.topology, 2)]
+        cfg = dataclasses.replace(c, virtual_channels=2)
+        BatchSimulator([(a, p, cfg.with_backend("array"))]).run()
+        again = ae._GROUP_CACHE[ae._group_key(a, p.topology, 2)]
+        assert again is two  # identity reuse within a VC class
+
     def test_group_cache_evicts_oldest_first(self, monkeypatch):
         monkeypatch.setattr(ae, "_GROUP_CACHE", {})
         keys = []
@@ -305,21 +341,22 @@ class TestDemotionObservability:
     def test_mixed_batch_counts_each_gate(self):
         points = [
             build_point(seed=3),
-            build_point(seed=5, virtual_channels=2),
-            build_point(seed=7, virtual_channels=3),
+            build_point(seed=5, virtual_channels=2),  # in-envelope now
+            build_point(seed=7, output_selection="zigzag"),
             build_point(seed=9, output_selection="random"),
             build_point(
-                seed=11, virtual_channels=2, input_selection="random"
+                seed=11, input_selection="random",
+                output_selection="random",  # fails two gates at once
             ),
         ]
         batch = BatchSimulator(
             [(a, p, c.with_backend("array")) for a, p, c in points]
         )
-        assert batch.vectorized_count == 1
-        assert batch.vectorized_fraction == pytest.approx(0.2)
+        assert batch.vectorized_count == 2
+        assert batch.vectorized_fraction == pytest.approx(0.4)
+        # The double-gate member counts once under *each* reason.
         assert batch.demotion_counts == {
-            "virtual-channels": 3,
-            "output-selection": 1,
+            "output-selection": 3,
             "input-selection": 1,
         }
 
@@ -329,6 +366,45 @@ class TestDemotionObservability:
             a, p, c.with_backend("array"), sink=ListSink()
         )
         assert sim.demotion_counts == {"trace-sink": 1}
+
+
+@needs_numpy
+class TestProfiledRuns:
+    """``--profile`` no longer demotes: the array backend times its own
+    kernel passes, and profiling only observes the clock — profiled runs
+    stay bit-identical to unprofiled ones on both backends."""
+
+    def test_profiler_does_not_demote_and_stays_identical(self):
+        from repro.observability import PhaseProfiler
+
+        a, p, c = build_point()
+        profiler = PhaseProfiler()
+        sim = ArrayWormholeSimulator(
+            a, p, c.with_backend("array"), profiler=profiler
+        )
+        assert sim.vectorized
+        assert sim.demotion_counts == {}
+        result = sim.run()
+        assert result.to_dict() == event_result(build_point()).to_dict()
+        for phase in ("generate", "inject", "allocate", "advance",
+                      "collect"):
+            assert profiler.calls.get(phase, 0) > 0
+        assert profiler.total_seconds > 0.0
+
+    def test_profiled_vc_point_stays_identical(self):
+        from repro.observability import PhaseProfiler
+
+        point = (
+            "torus:4x2", "negative-first-torus", "uniform",
+        )
+        kwargs = dict(seed=9, offered_load=0.6, virtual_channels=2)
+        a, p, c = build_point(*point, **kwargs)
+        sim = ArrayWormholeSimulator(
+            a, p, c.with_backend("array"), profiler=PhaseProfiler()
+        )
+        assert sim.vectorized
+        expected = event_result(build_point(*point, **kwargs))
+        assert sim.run().to_dict() == expected.to_dict()
 
 
 # The four golden operating points (tests/simulation/

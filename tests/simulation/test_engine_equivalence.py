@@ -12,14 +12,15 @@ arbitration order, or accounting shows up as a mismatch.
 
 Equivalence classification (docs/SIMULATOR.md has the full table):
 every feature is **bit-identical** across all three backends.  Inside
-the vectorized envelope (single VC, fcfs input selection, and any
-deterministic output policy — xy, round-robin, max-credits, threshold
-— including fault plans, watchdog timeouts with retries, and the
-streaming collectors) the array backend's numpy kernels reproduce the
-event engine's decision stream exactly; outside it (multiple VCs,
-random/zigzag selection, trace sinks, profilers, the LUT entry cap)
-the array backend drives a cycle-locked event-engine member,
-bit-identical by construction.  There is no
+the vectorized envelope (any virtual-channel count — plain multi-VC,
+torus dateline classes, escape-VC adaptive — fcfs input selection, and
+any deterministic output policy — xy, round-robin, max-credits,
+threshold — including fault plans, watchdog timeouts with retries,
+profilers, and the streaming collectors) the array backend's numpy
+kernels reproduce the event engine's decision stream exactly; outside
+it (random/zigzag selection, trace sinks, the LUT entry cap) the array
+backend drives a cycle-locked event-engine member, bit-identical by
+construction.  There is no
 statistically-equivalent-only feature class.  ``assert_equivalent``
 additionally asserts that in-envelope points really ran on the
 vectorized kernels, so the fault/policy/watchdog/collector legs here

@@ -155,7 +155,7 @@ class TestCommands:
                 "--loads", "0.3",
                 "--warmup", "100",
                 "--cycles", "400",
-                "--vc", "2",
+                "--selection", "random",
                 "--backend", "array",
                 "--no-cache",
             ]
@@ -163,7 +163,7 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "0/1 point(s) vectorized (0%)" in out
-        assert "demoted by virtual-channels x1" in out
+        assert "demoted by output-selection x1" in out
 
     def test_backend_flag_rejects_unknown(self):
         with pytest.raises(SystemExit):
